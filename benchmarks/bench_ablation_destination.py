@@ -1,0 +1,65 @@
+"""Ablation — destination-selection strategy (§3.2).
+
+Paper: "The registry/scheduler makes a decision on where to migrate a
+process based on 'first fit' policy."  First fit is cheap but ignores
+how good the destination is; best fit finds the least-loaded host;
+random spreads load without state.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, CpuHog, DutyCycleLoad
+from repro.core import policy_2
+from repro.core.rescheduler import Rescheduler, ReschedulerConfig
+from repro.registry import best_fit, first_fit, random_fit
+from repro.workloads import TestTreeApp
+
+from conftest import report
+
+PARAMS = {"levels": 10, "trees": 200, "node_cost": 4e-4, "seed": 5}
+
+
+def run_with_strategy(strategy, seed: int = 0) -> dict:
+    """Heterogeneously loaded cluster: ws2 mildly loaded (0.8), ws3
+    barely loaded (0.2), ws4 idle.  First fit settles for ws2; best
+    fit finds ws4."""
+    cluster = Cluster(n_hosts=4, seed=seed)
+    DutyCycleLoad(cluster["ws2"], mean_load=0.8, period=0.5, jitter=0.4,
+                  rng=cluster.rng.stream("l2"), name="ws2-load")
+    DutyCycleLoad(cluster["ws3"], mean_load=0.2, period=0.5, jitter=0.4,
+                  rng=cluster.rng.stream("l3"), name="ws3-load")
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3,
+                                 strategy=strategy),
+    )
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(40)
+        CpuHog(cluster["ws1"], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    return {"total": app.finished_at, "dest": app.host.name}
+
+
+def test_ablation_destination_strategy(benchmark, once):
+    def experiment():
+        return {
+            "first_fit": run_with_strategy(first_fit),
+            "best_fit": run_with_strategy(best_fit),
+            "random_fit": run_with_strategy(random_fit),
+        }
+
+    results = once(experiment)
+    rows = []
+    for name, r in results.items():
+        rows.append((f"{name}: destination", "paper uses first fit",
+                     r["dest"]))
+        rows.append((f"{name}: total s", "n/a", round(r["total"], 1)))
+    report(benchmark, "Ablation — destination strategy", rows)
+    assert results["first_fit"]["dest"] == "ws2"
+    assert results["best_fit"]["dest"] == "ws4"
+    # The better destination finishes the app sooner.
+    assert results["best_fit"]["total"] <= results["first_fit"]["total"]

@@ -1,0 +1,121 @@
+"""Ablation — central vs hierarchical registry (§3.2).
+
+Paper: "This hierarchical design solves the problem of a centralized
+bottleneck, thereby improving the performance and the system
+scalability."  With N hosts pushing soft-state updates, a central
+registry processes all N streams; two-level hierarchies split them and
+still find cross-domain destinations by escalation.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, CpuHog
+from repro.core import policy_2
+from repro.core.rescheduler import Rescheduler, ReschedulerConfig
+from repro.protocol import EndpointRegistry
+from repro.workloads import TestTreeApp
+
+from conftest import report
+
+PARAMS = {"levels": 10, "trees": 150, "node_cost": 4e-4, "seed": 5}
+N_HOSTS = 12
+
+
+def run_central(seed: int = 0) -> dict:
+    cluster = Cluster(n_hosts=N_HOSTS, seed=seed)
+    rs = Rescheduler(cluster, policy=policy_2(),
+                     config=ReschedulerConfig(interval=10.0, sustain=3))
+    # Overload every host except the registry's domain target so the
+    # only destination is found locally.
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(40)
+        CpuHog(cluster["ws1"], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    rate = rs.registry.endpoint.bytes_in / app.finished_at
+    return {"total": app.finished_at, "bytes_per_s": rate,
+            "migrated": app.migration_count}
+
+
+def run_hierarchical(seed: int = 0) -> dict:
+    """Two domains of N/2 hosts, each with its own registry, plus a
+    parent.  The app's domain is fully overloaded, forcing an
+    escalated cross-domain migration."""
+    cluster = Cluster(n_hosts=N_HOSTS, seed=seed)
+    names = [h.name for h in cluster]
+    half = N_HOSTS // 2
+    directory = EndpointRegistry()
+    parent = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+        monitored_hosts=[],  # the parent only coordinates registries
+        registry_host=names[0],
+        registry_name="registry-parent",
+        directory=directory,
+    )
+    domain_a = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+        monitored_hosts=names[:half],
+        registry_host=names[0],
+        directory=directory,
+        parent_address=parent.registry.address,
+    )
+    domain_b = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+        monitored_hosts=names[half:],
+        registry_host=names[half],
+        directory=directory,
+        parent_address=parent.registry.address,
+    )
+    app = domain_a.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(40)
+        # Overload the whole of domain A: escalation required.
+        for name in names[:half]:
+            CpuHog(cluster[name], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    per_registry = max(
+        domain_a.registry.endpoint.bytes_in,
+        domain_b.registry.endpoint.bytes_in,
+        parent.registry.endpoint.bytes_in,
+    ) / app.finished_at
+    return {
+        "total": app.finished_at,
+        "bytes_per_s": per_registry,
+        "migrated": app.migration_count,
+        "dest": app.host.name,
+        "escalated": any(d.escalated for d in domain_a.registry.decisions
+                         if d.dest),
+    }
+
+
+def test_ablation_registry_hierarchy(benchmark, once):
+    def experiment():
+        return {"central": run_central(), "hier": run_hierarchical()}
+
+    results = once(experiment)
+    central, hier = results["central"], results["hier"]
+    ratio = central["bytes_per_s"] / hier["bytes_per_s"]
+    report(benchmark, "Ablation — central vs hierarchical registry", [
+        ("central registry B/s in", "bottleneck",
+         int(central["bytes_per_s"])),
+        ("max per-registry B/s in (hier)", "≈1/2",
+         int(hier["bytes_per_s"])),
+        ("load reduction ×", ">1.5", round(ratio, 2)),
+        ("cross-domain migration", "works", hier["dest"]),
+    ])
+    assert central["migrated"] and hier["migrated"]
+    # The escalated migration crossed into domain B.
+    names_b = {f"ws{i}" for i in range(N_HOSTS // 2 + 1, N_HOSTS + 1)}
+    assert hier["dest"] in names_b
+    assert hier["escalated"]
+    # No single registry in the hierarchy carries the central load.
+    assert ratio > 1.5

@@ -1,0 +1,70 @@
+"""Ablation — poll-point density (§3, §5.2).
+
+Poll-points are "pre-defined possible points in the execution sequence
+where a migration can occur".  Denser poll-points (smaller steps)
+shorten the wait between the migration order and the transfer, at the
+price of more state-capture opportunities to keep consistent.  The
+paper measures 1.4 s to the nearest poll-point for test_tree.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hpcm import MigrationOrder, launch
+from repro.mpi import MpiRuntime
+from repro.workloads import TestTreeApp
+
+from conftest import report
+
+#: Same total work (~90 reference seconds), different step sizes.
+VARIANTS = {
+    "coarse (levels=14)": {"levels": 14, "trees": 14,
+                           "node_cost": 2.4e-5, "seed": 1},
+    "medium (levels=12)": {"levels": 12, "trees": 56,
+                           "node_cost": 2.8e-5, "seed": 1},
+    "fine (levels=10)": {"levels": 10, "trees": 250,
+                         "node_cost": 3.0e-5, "seed": 1},
+}
+
+
+def measure_pollpoint_wait(params: dict, orders: int = 12) -> float:
+    """Mean order → poll-point latency over several migrations."""
+    cluster = Cluster(n_hosts=3, seed=0)
+    mpi = MpiRuntime(cluster)
+    rt = launch(mpi, TestTreeApp(), cluster["ws1"], params=params)
+    dests = ["ws2", "ws3"]
+
+    def scenario(env):
+        for i in range(orders):
+            yield env.timeout(5.0)
+            if rt.status == "done":
+                return
+            rt.request_migration(
+                MigrationOrder(dest_host=dests[i % 2],
+                               issued_at=env.now)
+            )
+
+    cluster.env.process(scenario(cluster.env))
+    cluster.env.run(until=rt.done)
+    waits = [m.time_to_pollpoint for m in rt.migrations if m.succeeded]
+    assert waits, "no successful migrations"
+    return sum(waits) / len(waits)
+
+
+def test_ablation_pollpoint_density(benchmark, once):
+    def experiment():
+        return {
+            name: measure_pollpoint_wait(params)
+            for name, params in VARIANTS.items()
+        }
+
+    results = once(experiment)
+    rows = [
+        (f"{name}: mean wait to poll-point s", "1.4 (paper)",
+         round(wait, 3))
+        for name, wait in results.items()
+    ]
+    report(benchmark, "Ablation — poll-point density", rows)
+    waits = list(results.values())
+    # Finer poll-points → shorter waits, monotonically.
+    assert waits[0] > waits[1] > waits[2]

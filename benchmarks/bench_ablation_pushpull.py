@@ -1,0 +1,68 @@
+"""Ablation — push vs pull registration (§3.2).
+
+The paper weighs both: pull lets the registry query exactly when it
+needs fresh data but "leads to the registry/scheduler having to make a
+query at runtime ... thus slowing down the process"; push guarantees
+steady traffic but risks staleness between refreshes.  The paper
+chooses push with soft state.  Both models are implemented; this
+ablation compares traffic shape and end-to-end reaction time.
+"""
+
+import pytest
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import CpuHog
+from repro.workloads import TestTreeApp
+
+from conftest import report
+
+PARAMS = {"levels": 10, "trees": 150, "node_cost": 4e-4, "seed": 5}
+
+
+def run_mode(mode: str, seed: int = 0) -> dict:
+    cluster = Cluster(n_hosts=3, seed=seed)
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3, mode=mode),
+    )
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(60)
+        CpuHog(cluster["ws1"], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    decision = next(d for d in rs.decisions if d.dest)
+    duration = app.finished_at
+    return {
+        "reaction": decision.at - 60.0,
+        "total": duration,
+        "registry_out_bps": rs.registry.endpoint.bytes_out / duration,
+        "registry_in_bps": rs.registry.endpoint.bytes_in / duration,
+        "migrated": app.migration_count,
+    }
+
+
+def test_ablation_push_vs_pull(benchmark, once):
+    def experiment():
+        return {"push": run_mode("push"), "pull": run_mode("pull")}
+
+    results = once(experiment)
+    push, pull = results["push"], results["pull"]
+    rows = [
+        ("push: registry tx B/s", "≈0 (monitors volunteer)",
+         round(push["registry_out_bps"], 1)),
+        ("pull: registry tx B/s", "queries every interval",
+         round(pull["registry_out_bps"], 1)),
+        ("push: registry rx B/s", "steady", round(push["registry_in_bps"], 1)),
+        ("pull: registry rx B/s", "steady", round(pull["registry_in_bps"], 1)),
+        ("push: reaction s", "paper's choice", round(push["reaction"], 1)),
+        ("pull: reaction s", "extra query RTT", round(pull["reaction"], 1)),
+    ]
+    report(benchmark, "Ablation — push vs pull registration", rows)
+    assert push["migrated"] == 1 and pull["migrated"] == 1
+    # Pull makes the registry itself a traffic source.
+    assert pull["registry_out_bps"] > push["registry_out_bps"] * 5
+    # Both react within the same order of magnitude.
+    assert pull["reaction"] < push["reaction"] * 3

@@ -1,0 +1,71 @@
+"""Ablation — soft-state lease vs failure detection and traffic (§3.2).
+
+The push-based soft-state protocol trades background traffic for
+failure-detection latency: short leases (with matching update rates)
+spot dead hosts quickly but cost bandwidth; long leases are cheap but
+a crashed host lingers in the table as a viable destination.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import policy_2
+from repro.core.rescheduler import Rescheduler, ReschedulerConfig
+from repro.rules import SystemState
+
+from conftest import report
+
+
+def run_lease(interval: float, lease: float, seed: int = 0) -> dict:
+    cluster = Cluster(n_hosts=3, seed=seed)
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=interval, lease=lease),
+    )
+    cluster.run(until=300)
+    bytes_before = rs.registry.endpoint.bytes_in
+    cluster["ws2"].crash()
+    crash_at = cluster.env.now
+    table = rs.registry.table
+
+    # Poll the effective state until ws2 turns unavailable.
+    detect = {}
+
+    def watch(env):
+        while True:
+            rec = table.get("ws2")
+            if (rec is not None and table.effective_state(rec)
+                    is SystemState.UNAVAILABLE):
+                detect["latency"] = env.now - crash_at
+                return
+            yield env.timeout(1.0)
+
+    cluster.env.process(watch(cluster.env))
+    cluster.run(until=crash_at + 600)
+    traffic_rate = bytes_before / 300.0  # bytes/s of soft-state pushes
+    return {
+        "detect": detect.get("latency", float("inf")),
+        "traffic": traffic_rate,
+    }
+
+
+def test_ablation_softstate_lease(benchmark, once):
+    def experiment():
+        return {
+            "tight (2s push, 7s lease)": run_lease(2.0, 7.0),
+            "paper-ish (10s push, 35s lease)": run_lease(10.0, 35.0),
+            "loose (30s push, 100s lease)": run_lease(30.0, 100.0),
+        }
+
+    results = once(experiment)
+    rows = []
+    for name, r in results.items():
+        rows.append((f"{name}: failure detection s", "≈lease",
+                     round(r["detect"], 1)))
+        rows.append((f"{name}: push traffic B/s", "≈msgs/interval",
+                     round(r["traffic"], 1)))
+    report(benchmark, "Ablation — soft-state lease", rows)
+    tight = results["tight (2s push, 7s lease)"]
+    loose = results["loose (30s push, 100s lease)"]
+    assert tight["detect"] < loose["detect"]
+    assert tight["traffic"] > loose["traffic"]

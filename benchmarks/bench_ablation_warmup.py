@@ -1,0 +1,79 @@
+"""Ablation — the warm-up (sustain) window (§5.2).
+
+Paper: the 72 s detection delay "can avoid the fault migration caused
+by small system performance variations ... It is a configurable
+parameter of the rescheduler".  Short sustain reacts faster but
+migrates on transient spikes; long sustain is safe but slow.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, CpuHog
+from repro.core import policy_2
+from repro.core.rescheduler import Rescheduler, ReschedulerConfig
+from repro.workloads import TestTreeApp
+
+from conftest import report
+
+PARAMS = {"levels": 10, "trees": 200, "node_cost": 4e-4, "seed": 5}
+
+
+def run_scenario(sustain: int, spike_only: bool, seed: int = 0):
+    """Inject either a 25 s spike or a permanent overload at t=60."""
+    cluster = Cluster(n_hosts=3, seed=seed)
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=sustain),
+    )
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(60)
+        hog = CpuHog(cluster["ws1"], count=4, name="load")
+        if spike_only:
+            yield env.timeout(25)
+            hog.stop()
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    decision = next((d for d in rs.decisions if d.dest), None)
+    return {
+        "migrated": app.migration_count > 0,
+        "reaction": (decision.at - 60.0) if decision else None,
+        "total": app.finished_at,
+    }
+
+
+def test_ablation_warmup_window(benchmark, once):
+    def experiment():
+        out = {}
+        for sustain in (1, 3, 7):
+            out[sustain] = {
+                "spike": run_scenario(sustain, spike_only=True),
+                "overload": run_scenario(sustain, spike_only=False),
+            }
+        return out
+
+    results = once(experiment)
+    rows = []
+    for sustain, r in results.items():
+        rows.append((
+            f"sustain={sustain}: false migration on 25 s spike",
+            "no (with 72 s warm-up)",
+            "yes" if r["spike"]["migrated"] else "no",
+        ))
+        rows.append((
+            f"sustain={sustain}: reaction to real overload s",
+            72.0,
+            round(r["overload"]["reaction"], 1)
+            if r["overload"]["reaction"] else "never",
+        ))
+    report(benchmark, "Ablation — warm-up window", rows)
+    # Long sustain never false-migrates; short sustain does.
+    assert results[7]["spike"]["migrated"] is False
+    assert results[1]["spike"]["migrated"] is True
+    # Every sustain eventually handles a genuine overload.
+    assert all(r["overload"]["migrated"] for r in results.values())
+    # Reaction time grows with sustain.
+    assert (results[1]["overload"]["reaction"]
+            < results[7]["overload"]["reaction"])

@@ -1,0 +1,28 @@
+"""Figure 6 — rescheduler overhead on communication (§5.1).
+
+Paper: send 5.82 KB/s and receive 5.99 KB/s both with and without the
+rescheduler — "almost no overhead for communication".
+"""
+
+from repro.analysis import run_overhead_experiment
+from repro.metrics import ascii_plot
+
+from conftest import report
+
+
+def test_fig6_comm_overhead(benchmark, once):
+    result = once(run_overhead_experiment, duration=3600, seed=1)
+    report(benchmark, "Figure 6 — communication overhead", [
+        ("send KB/s, without", 5.82, round(result.send_kbs_without, 2)),
+        ("send KB/s, with", 5.82, round(result.send_kbs_with, 2)),
+        ("recv KB/s, without", 5.99, round(result.recv_kbs_without, 2)),
+        ("recv KB/s, with", 5.99, round(result.recv_kbs_with, 2)),
+        ("comm overhead %", 0.0, round(100 * result.comm_overhead, 2)),
+    ])
+    print(ascii_plot(
+        [result.without_rs.recv_kbs, result.with_rs.recv_kbs,
+         result.without_rs.send_kbs, result.with_rs.send_kbs],
+        title="KB/s (upper curves: receiving; lower: sending)",
+        labels=["recv w/o", "recv w/", "send w/o", "send w/"],
+    ))
+    assert abs(result.comm_overhead) < 0.02

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the substrates (not a paper experiment).
+
+Establishes that the simulation engine itself is fast enough for the
+experiment horizons: millions of kernel events per wall-second, and
+end-to-end migrations in milliseconds of wall time.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hpcm import MigrationOrder, launch
+from repro.mpi import MpiRuntime
+from repro.sim import Environment, FairShareServer
+from repro.workloads import TestTreeApp
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        env = Environment()
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ticker(env, 2000))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 2000.0
+
+
+def test_fairshare_churn(benchmark):
+    def run():
+        env = Environment()
+        server = FairShareServer(env, rate=1.0)
+
+        def submitter(env):
+            for i in range(2000):
+                server.submit(0.1)
+                yield env.timeout(0.05)
+
+        env.process(submitter(env))
+        env.run()
+        return server.work_done()
+
+    result = benchmark(run)
+    assert result == pytest.approx(200.0, rel=1e-3)
+
+
+def test_mpi_message_throughput(benchmark):
+    def run():
+        cluster = Cluster(n_hosts=2, seed=0, cpu_per_byte=0.0)
+        mpi = MpiRuntime(cluster)
+
+        def entry(ctx):
+            if ctx.rank == 0:
+                for i in range(1000):
+                    yield from ctx.comm.send(i, dest=1)
+            else:
+                for _ in range(1000):
+                    yield from ctx.comm.recv()
+
+        result = mpi.launch(entry, cluster.host_list())
+        cluster.env.run(until=result.done)
+        return True
+
+    assert benchmark(run)
+
+
+def test_migration_wall_time(benchmark):
+    params = {"levels": 16, "trees": 4, "node_cost": 1e-5, "seed": 0}
+
+    def run():
+        cluster = Cluster(n_hosts=2, seed=0)
+        mpi = MpiRuntime(cluster)
+        rt = launch(mpi, TestTreeApp(), cluster["ws1"], params=params)
+
+        def order(env):
+            yield env.timeout(1.0)
+            rt.request_migration(
+                MigrationOrder(dest_host="ws2", issued_at=env.now)
+            )
+
+        cluster.env.process(order(cluster.env))
+        cluster.env.run(until=rt.done)
+        return rt.migration_count
+
+    assert benchmark(run) == 1

@@ -1,0 +1,41 @@
+"""Table 1 — system-state description (§4).
+
+=========== ======= ========== ===========
+state       loaded  migrate-in migrate-out
+=========== ======= ========== ===========
+free        no      yes        no
+busy        yes     no         no
+overloaded  yes     no         yes
+=========== ======= ========== ===========
+
+The benchmark demonstrates the semantics on a live deployment: an
+overloaded host sheds its migratable process, a busy host is skipped as
+a destination, a free host receives it.
+"""
+
+from repro.analysis import run_table1
+
+from conftest import report
+
+
+def test_table1_states(benchmark, once):
+    rows = once(run_table1)
+    over, busy, free = rows["overloaded"], rows["busy"], rows["free"]
+
+    def cell(flag):
+        return "yes" if flag else "no"
+
+    report(benchmark, "Table 1 — state behaviour (paper | measured)", [
+        ("free: loaded", "no", cell(free.loaded)),
+        ("free: migrate in", "yes", cell(free.migrate_in)),
+        ("free: migrate out", "no", cell(free.migrate_out)),
+        ("busy: loaded", "yes", cell(busy.loaded)),
+        ("busy: migrate in", "no", cell(busy.migrate_in)),
+        ("busy: migrate out", "no", cell(busy.migrate_out)),
+        ("overloaded: loaded", "yes", cell(over.loaded)),
+        ("overloaded: migrate in", "no", cell(over.migrate_in)),
+        ("overloaded: migrate out", "yes", cell(over.migrate_out)),
+    ])
+    assert not free.loaded and free.migrate_in and not free.migrate_out
+    assert busy.loaded and not busy.migrate_in and not busy.migrate_out
+    assert over.loaded and not over.migrate_in and over.migrate_out

@@ -1,0 +1,35 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's §5 (or
+an ablation of a design choice) and reports paper-vs-measured values
+through ``benchmark.extra_info`` and stdout (run with ``-s`` to see the
+tables live; the values also land in pytest-benchmark's JSON output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(benchmark, title: str, rows: list) -> None:
+    """Attach paper-vs-measured rows to the benchmark and print them."""
+    from repro.metrics import format_table
+
+    text = format_table(["quantity", "paper", "measured"], rows,
+                        title=title)
+    print("\n" + text)
+    for quantity, paper, measured in rows:
+        benchmark.extra_info[str(quantity)] = {
+            "paper": paper, "measured": measured,
+        }
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

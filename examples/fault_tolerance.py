@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fault tolerance through soft state — a crashed host vanishes.
+
+The paper's conclusion points at fault tolerance as a natural use:
+"reschedule when the machine will shut down".  This example shows the
+defensive half the implemented system already provides: a host that
+crashes stops refreshing its soft-state lease, the registry marks it
+*unavailable*, and migrations route around it — including a migration
+that was about to target it.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import CpuHog
+from repro.rules import SystemState
+from repro.workloads import TestTreeApp
+
+
+def main() -> None:
+    cluster = Cluster(n_hosts=3, seed=0)
+    rescheduler = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3, lease=25.0),
+    )
+    params = {"levels": 10, "trees": 150, "node_cost": 4e-4, "seed": 2}
+    app = rescheduler.launch_app(TestTreeApp(), "ws1", params=params)
+    table = rescheduler.registry.table
+
+    def scenario(env):
+        yield env.timeout(30)
+        # ws2 would be the first-fit destination... but it dies.
+        cluster["ws2"].crash()
+        print(f"[t={env.now:.0f}s] ws2 crashes (no more soft-state "
+              f"pushes)")
+        yield env.timeout(40)
+        state = table.effective_state(table.get("ws2"))
+        print(f"[t={env.now:.0f}s] registry sees ws2 as "
+              f"{state.name.lower()}")
+        assert state is SystemState.UNAVAILABLE
+        CpuHog(cluster["ws1"], count=4, name="overload")
+        print(f"[t={env.now:.0f}s] ws1 becomes overloaded")
+
+    cluster.env.process(scenario(cluster.env))
+    cluster.env.run(until=app.done)
+
+    decision = next(d for d in rescheduler.decisions if d.dest)
+    print(f"[t={decision.at:.1f}s] decision: migrate to {decision.dest} "
+          f"(ws2 was skipped)")
+    print(f"[t={app.finished_at:.1f}s] app finished on {app.host.name}")
+    assert app.host.name == "ws3"
+    expected = TestTreeApp.expected_checksum(params)
+    print("result correct:", abs(app.result - expected) < 1e-6)
+
+
+if __name__ == "__main__":
+    main()

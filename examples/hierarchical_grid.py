@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Hierarchical registries — migrating across administrative domains.
+
+Two six-host "virtual organizations", each with its own
+registry/scheduler, under a common parent registry (paper §3.2: "We
+can configure a local registry/scheduler on a local cluster and its
+upper level registry/scheduler to a specific organization, such as a
+Virtual Organization in a Grid environment").
+
+Domain A becomes fully overloaded; its registry finds no local
+destination and escalates to the parent, which delegates to domain B —
+the process migrates across the domain boundary.
+
+Run:  python examples/hierarchical_grid.py
+"""
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import CpuHog
+from repro.protocol import EndpointRegistry
+from repro.workloads import TestTreeApp
+
+
+def main() -> None:
+    cluster = Cluster(n_hosts=12, seed=0)
+    names = [h.name for h in cluster]
+    directory = EndpointRegistry()
+
+    parent = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0),
+        monitored_hosts=[],
+        registry_host=names[0],
+        registry_name="registry-parent",
+        directory=directory,
+    )
+    domain_a = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+        monitored_hosts=names[:6],
+        registry_host=names[0],
+        directory=directory,
+        parent_address=parent.registry.address,
+    )
+    domain_b = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+        monitored_hosts=names[6:],
+        registry_host=names[6],
+        directory=directory,
+        parent_address=parent.registry.address,
+    )
+    print(f"domain A: {names[:6]} (registry {domain_a.registry.address})")
+    print(f"domain B: {names[6:]} (registry {domain_b.registry.address})")
+    print(f"parent:   {parent.registry.address}")
+
+    params = {"levels": 10, "trees": 150, "node_cost": 4e-4, "seed": 5}
+    app = domain_a.launch_app(TestTreeApp(), "ws1", params=params)
+
+    def flood_domain_a(env):
+        yield env.timeout(40)
+        print(f"[t={env.now:.0f}s] every domain-A host gets 4 CPU hogs")
+        for name in names[:6]:
+            CpuHog(cluster[name], count=4, name="load")
+
+    cluster.env.process(flood_domain_a(cluster.env))
+    cluster.env.run(until=app.done)
+
+    decision = next(d for d in domain_a.registry.decisions if d.dest)
+    print(f"[t={decision.at:.1f}s] domain A escalated "
+          f"(escalated={decision.escalated}) -> destination "
+          f"{decision.dest}")
+    print(f"[t={app.finished_at:.1f}s] app finished on {app.host.name} "
+          f"(crossed into domain B: {app.host.name in names[6:]})")
+    assert app.host.name in names[6:]
+    expected = TestTreeApp.expected_checksum(params)
+    print("result correct:", abs(app.result - expected) < 1e-6)
+
+
+if __name__ == "__main__":
+    main()

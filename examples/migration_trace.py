@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Anatomy of one migration — the §5.2 efficiency experiment.
+
+Reproduces the paper's Figure 7/8 timeline and prints the phase
+breakdown plus ASCII plots of CPU utilization and network rates around
+the migration window.
+
+Run:  python examples/migration_trace.py
+"""
+
+from repro.analysis import run_efficiency_experiment
+from repro.metrics import ascii_plot
+
+
+def main() -> None:
+    print("running the efficiency scenario "
+          "(app at t=280s, overload at t=428s) ...")
+    result = run_efficiency_experiment()
+    rec = result.record
+    assert rec is not None and rec.succeeded
+
+    print(f"""
+migration timeline (paper values in brackets):
+  load injected            t = {result.load_injected_at:7.1f} s
+  overload confirmed       t = {result.decision.at:7.1f} s   \
+(warm-up {result.warmup_seconds:.1f} s [72 s])
+  decision took                {rec.decision_seconds * 1000:7.1f} ms  [2 ms]
+  poll-point reached           {rec.time_to_pollpoint:7.2f} s   [1.4 s]
+  initialized process up       {rec.init_seconds:7.2f} s   [0.3 s]
+  execution resumed            {rec.resume_seconds:7.2f} s   [<1 s]
+  residual state drained       {rec.drain_seconds:7.2f} s
+  migration complete           {rec.total_seconds:7.2f} s   [7.5 s]
+  memory state moved           {rec.memory_bytes / 2**20:7.1f} MB
+""")
+    print(ascii_plot(
+        [result.cpu_source, result.cpu_dest],
+        title="Figure 7 — CPU utilization",
+        labels=["source ws1", "destination ws2"],
+    ))
+    print()
+    print(ascii_plot(
+        [result.send_source, result.recv_dest],
+        title="Figure 8 — network KB/s (state-transfer burst)",
+        labels=["ws1 send", "ws2 recv"],
+    ))
+    print()
+    print("execution resumed", rec.completed_at - rec.resumed_at,
+          "seconds BEFORE the transfer finished — restoration overlaps "
+          "computation, as in the paper.")
+    print("checksum identical to an unmigrated run:", result.checksum_ok)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+::
+
+    python -m repro list
+    python -m repro fig5 [--seed N] [--out DIR]
+    python -m repro fig7 [--out DIR]
+    python -m repro table2 [--out DIR]
+    python -m repro all --out results/
+
+Each command runs the corresponding §5 experiment, prints a
+paper-vs-measured table (and ASCII plots for the figures), and — with
+``--out`` — exports the raw series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from .metrics import ascii_plot, format_table
+
+
+def _fig5(args) -> int:
+    from .analysis import run_overhead_experiment
+    from .analysis.export import export_overhead
+
+    r = run_overhead_experiment(duration=args.duration, seed=args.seed)
+    print(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ("1-min load, without", 0.256, round(r.load1_without, 3)),
+            ("1-min load, with", 0.266, round(r.load1_with, 3)),
+            ("load overhead %", 3.9, round(100 * r.load1_overhead, 2)),
+            ("CPU util overhead %", 3.46, round(100 * r.cpu_overhead, 2)),
+        ],
+        title="Figure 5 — rescheduler overhead (load average)",
+    ))
+    print(ascii_plot(
+        [r.without_rs.load1, r.with_rs.load1],
+        title="1-minute load average",
+        labels=["without", "with"],
+    ))
+    if args.out:
+        paths = export_overhead(r, args.out)
+        print(f"\nCSV written: {', '.join(sorted(paths.values()))}")
+    return 0
+
+
+def _fig6(args) -> int:
+    from .analysis import run_overhead_experiment
+    from .analysis.export import export_overhead
+
+    r = run_overhead_experiment(duration=args.duration, seed=args.seed)
+    print(format_table(
+        ["quantity", "paper", "measured"],
+        [
+            ("send KB/s, without", 5.82, round(r.send_kbs_without, 2)),
+            ("send KB/s, with", 5.82, round(r.send_kbs_with, 2)),
+            ("recv KB/s, without", 5.99, round(r.recv_kbs_without, 2)),
+            ("recv KB/s, with", 5.99, round(r.recv_kbs_with, 2)),
+            ("comm overhead %", 0.0, round(100 * r.comm_overhead, 2)),
+        ],
+        title="Figure 6 — rescheduler overhead (communication)",
+    ))
+    if args.out:
+        export_overhead(r, args.out)
+        print(f"\nCSV written under {args.out}")
+    return 0
+
+
+def _fig7(args) -> int:
+    from .analysis import run_efficiency_experiment
+    from .analysis.export import export_efficiency
+
+    r = run_efficiency_experiment(seed=args.seed)
+    phases = r.phase_summary()
+    print(format_table(
+        ["phase", "paper", "measured"],
+        [
+            ("warm-up s", 72.0, round(phases["warmup_s"], 1)),
+            ("decision s", 0.002, round(phases["decision_s"], 4)),
+            ("init (spawn) s", 0.3, round(phases["init_s"], 3)),
+            ("to poll-point s", 1.4, round(phases["to_pollpoint_s"], 2)),
+            ("resume s", 1.0, round(phases["resume_s"], 2)),
+            ("total s", 7.5, round(phases["total_s"], 2)),
+        ],
+        title="Figure 7 — migration phases",
+    ))
+    print(ascii_plot(
+        [r.cpu_source, r.cpu_dest],
+        title="CPU utilization around the migration",
+        labels=["source", "destination"],
+    ))
+    if args.out:
+        paths = export_efficiency(r, args.out)
+        print(f"\nCSV written: {', '.join(sorted(paths.values()))}")
+    return 0
+
+
+def _fig8(args) -> int:
+    from .analysis import run_efficiency_experiment
+    from .analysis.export import export_efficiency
+
+    r = run_efficiency_experiment(seed=args.seed)
+    print(ascii_plot(
+        [r.send_source, r.recv_dest],
+        title="Figure 8 — network KB/s (state-transfer burst)",
+        labels=["source send", "destination recv"],
+    ))
+    rec = r.record
+    print(f"\nresume happened {rec.drain_seconds:.2f}s before the "
+          f"transfer completed ({rec.memory_bytes / 2**20:.1f} MB moved)")
+    if args.out:
+        export_efficiency(r, args.out)
+        print(f"CSV written under {args.out}")
+    return 0
+
+
+def _table1(args) -> int:
+    from .analysis import run_table1
+
+    rows = run_table1(seed=args.seed)
+
+    def cell(flag):
+        return "yes" if flag else "no"
+
+    print(format_table(
+        ["state", "loaded", "migrate in", "migrate out"],
+        [
+            (name, cell(row.loaded), cell(row.migrate_in),
+             cell(row.migrate_out))
+            for name, row in rows.items() if not name.startswith("_")
+        ],
+        title="Table 1 — system state behaviour (observed)",
+    ))
+    return 0
+
+
+def _table2(args) -> int:
+    from .analysis import run_table2
+    from .analysis.export import export_table2
+
+    results = run_table2(seed=args.seed)
+    print(format_table(
+        ["policy", "total s", "to", "source s", "dest s", "migration s"],
+        [results[i].row() for i in (1, 2, 3)],
+        title="Table 2 — policy comparison "
+              "(paper: 983.6 / 433.27→ws2 / 329.71→ws4)",
+    ))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = export_table2(results,
+                             os.path.join(args.out, "table2.csv"))
+        print(f"\nCSV written: {path}")
+    return 0
+
+
+def _all(args) -> int:
+    rc = 0
+    for name in ("fig5", "fig6", "fig7", "fig8", "table1", "table2"):
+        print(f"\n=== {name} ===")
+        rc |= COMMANDS[name](args)
+    return rc
+
+
+def _list(args) -> int:
+    print("available experiments:")
+    for name, fn in sorted(COMMANDS.items()):
+        if name not in ("list", "all"):
+            doc = (fn.__doc__ or "").strip() or name
+            print(f"  {name}")
+    print("  all    — run everything")
+    return 0
+
+
+COMMANDS = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "table1": _table1,
+    "table2": _table2,
+    "all": _all,
+    "list": _list,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'A Runtime System "
+                    "for Autonomic Rescheduling of MPI Programs' "
+                    "(ICPP 2004).",
+    )
+    parser.add_argument("experiment", choices=sorted(COMMANDS),
+                        help="which experiment to run")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="random seed (default 0)")
+    parser.add_argument("--duration", type=float, default=3600.0,
+                        help="overhead-experiment horizon in simulated "
+                             "seconds (default 3600)")
+    parser.add_argument("--out", default=None,
+                        help="directory for CSV export")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.experiment](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

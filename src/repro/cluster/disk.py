@@ -1,0 +1,78 @@
+"""Disk / mount-point model.
+
+The paper's monitor "gathers the disk usage parameters of the various
+mount points" (§3.1).  A :class:`Disk` is a mount point with capacity
+accounting; a host owns several.
+"""
+
+from __future__ import annotations
+
+
+class Disk:
+    """One mount point."""
+
+    def __init__(self, mount: str, total: int, used: int = 0):
+        if total <= 0:
+            raise ValueError("disk size must be positive")
+        if not 0 <= used <= total:
+            raise ValueError("used must lie in [0, total]")
+        self.mount = mount
+        self.total = int(total)
+        self.used = int(used)
+
+    @property
+    def available(self) -> int:
+        return self.total - self.used
+
+    @property
+    def used_pct(self) -> float:
+        return 100.0 * self.used / self.total
+
+    def write(self, nbytes: int) -> None:
+        """Consume ``nbytes``; raises :class:`OSError` when full."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative amount")
+        if nbytes > self.available:
+            raise OSError(f"disk full on {self.mount}")
+        self.used += nbytes
+
+    def delete(self, nbytes: int) -> None:
+        """Release ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("cannot delete a negative amount")
+        self.used = max(0, self.used - nbytes)
+
+    def __repr__(self) -> str:
+        return f"<Disk {self.mount} {self.used}/{self.total}>"
+
+
+class DiskSet:
+    """All mount points of a host."""
+
+    def __init__(self):
+        self._disks: dict[str, Disk] = {}
+
+    def add(self, mount: str, total: int, used: int = 0) -> Disk:
+        if mount in self._disks:
+            raise ValueError(f"mount point {mount!r} already exists")
+        disk = Disk(mount, total, used)
+        self._disks[mount] = disk
+        return disk
+
+    def get(self, mount: str) -> Disk:
+        return self._disks[mount]
+
+    def mounts(self) -> list:
+        return sorted(self._disks)
+
+    def total_available(self) -> int:
+        return sum(d.available for d in self._disks.values())
+
+    def __iter__(self):
+        return iter(self._disks.values())
+
+    def __len__(self) -> int:
+        return len(self._disks)
+
+    def __contains__(self, mount: str) -> bool:
+        return mount in self._disks

@@ -1,0 +1,86 @@
+"""Host memory model.
+
+Simple reservation accounting: processes claim and release bytes of
+physical and virtual memory.  The monitor's memory sensors (paper §3.1:
+"available memory and percentage of available memory for both virtual
+and physical memory") read these counters.
+"""
+
+from __future__ import annotations
+
+
+class Memory:
+    """Physical + virtual memory accounting for one host."""
+
+    def __init__(
+        self,
+        physical_total: int = 128 * 1024 * 1024,  # Sun Blade 100: 128 MB
+        swap_total: int = 256 * 1024 * 1024,
+    ):
+        if physical_total <= 0 or swap_total < 0:
+            raise ValueError("memory sizes must be positive")
+        self.physical_total = int(physical_total)
+        self.swap_total = int(swap_total)
+        self.physical_used = 0
+        self.swap_used = 0
+
+    # -- capacity views -----------------------------------------------------
+    @property
+    def virtual_total(self) -> int:
+        return self.physical_total + self.swap_total
+
+    @property
+    def physical_available(self) -> int:
+        return self.physical_total - self.physical_used
+
+    @property
+    def virtual_used(self) -> int:
+        return self.physical_used + self.swap_used
+
+    @property
+    def virtual_available(self) -> int:
+        return self.virtual_total - self.virtual_used
+
+    @property
+    def physical_available_pct(self) -> float:
+        return 100.0 * self.physical_available / self.physical_total
+
+    @property
+    def virtual_available_pct(self) -> float:
+        return 100.0 * self.virtual_available / self.virtual_total
+
+    # -- reservations -------------------------------------------------------
+    def allocate(self, nbytes: int) -> None:
+        """Claim ``nbytes``; spills to swap when physical memory is full.
+
+        Raises :class:`MemoryError` when virtual memory is exhausted.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative amount")
+        physical = min(nbytes, self.physical_available)
+        swap = nbytes - physical
+        if swap > self.swap_total - self.swap_used:
+            raise MemoryError(
+                f"out of virtual memory: need {nbytes}, "
+                f"available {self.virtual_available}"
+            )
+        self.physical_used += physical
+        self.swap_used += swap
+
+    def free(self, nbytes: int) -> None:
+        """Release ``nbytes`` (swap first, mirroring allocation spill)."""
+        if nbytes < 0:
+            raise ValueError("cannot free a negative amount")
+        from_swap = min(nbytes, self.swap_used)
+        self.swap_used -= from_swap
+        self.physical_used = max(0, self.physical_used - (nbytes - from_swap))
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Would ``allocate(nbytes)`` succeed?"""
+        return nbytes <= self.virtual_available
+
+    def __repr__(self) -> str:
+        return (
+            f"<Memory phys {self.physical_used}/{self.physical_total} "
+            f"swap {self.swap_used}/{self.swap_total}>"
+        )

@@ -1,0 +1,407 @@
+"""Fluid-flow network model with max-min fair bandwidth sharing.
+
+Each host has a full-duplex NIC: a transmit capacity and a receive
+capacity (bytes/second).  Active flows (finite transfers or open-ended
+streams) share bandwidth according to **max-min fairness** computed by
+progressive filling — the standard fluid approximation of TCP-fair
+sharing on a switched LAN like the paper's 100 Mbps Ethernet.
+
+Two couplings feed the rest of the system:
+
+* per-host cumulative tx/rx byte counters — the monitor's KB/s sensors
+  (paper Figures 6 and 8) differentiate these;
+* protocol-processing CPU cost — every byte moved charges
+  ``cpu_per_byte`` CPU-seconds to both endpoint hosts via
+  :meth:`repro.cluster.cpu.Cpu.set_comm_load`.  This reproduces the
+  Table 2 situation where a ~7 MB/s stream makes a host report a ~0.97
+  load average while running no compute job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from ..sim.events import Event
+
+#: 100 Mbps Ethernet in bytes/second (the paper's interconnect).
+ETHERNET_100MBPS = 12.5e6
+
+#: Default one-way message latency in seconds.
+DEFAULT_LATENCY = 1e-4
+
+_EPS = 1e-9
+
+
+class Flow:
+    """One active flow between two hosts.
+
+    ``remaining`` is ``inf`` for open-ended streams.  ``done`` is the
+    completion event for finite transfers.
+    """
+
+    __slots__ = (
+        "src", "dst", "remaining", "rate_cap", "rate", "label",
+        "done", "bytes_moved", "closed",
+    )
+
+    def __init__(
+        self,
+        env: Any,
+        src: str,
+        dst: str,
+        nbytes: float,
+        rate_cap: float = math.inf,
+        label: str = "",
+    ):
+        if src == dst:
+            raise ValueError("flow endpoints must differ")
+        if nbytes <= 0:
+            raise ValueError("flow size must be positive")
+        if rate_cap <= 0:
+            raise ValueError("rate cap must be positive")
+        self.src = src
+        self.dst = dst
+        self.remaining = float(nbytes)
+        self.rate_cap = float(rate_cap)
+        self.rate = 0.0
+        self.label = label
+        self.done: Event = Event(env)
+        self.bytes_moved = 0.0
+        self.closed = False
+
+    @property
+    def finite(self) -> bool:
+        return math.isfinite(self.remaining)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow {self.src}->{self.dst} {self.label!r} "
+            f"rate={self.rate:.0f}B/s remaining={self.remaining:.0f}>"
+        )
+
+
+class _HostPort:
+    """NIC state for one host."""
+
+    __slots__ = ("name", "tx_capacity", "rx_capacity", "bytes_tx",
+                 "bytes_rx", "cpu", "up")
+
+    def __init__(self, name: str, bandwidth: float, cpu: Any):
+        self.name = name
+        self.tx_capacity = float(bandwidth)
+        self.rx_capacity = float(bandwidth)
+        self.bytes_tx = 0.0
+        self.bytes_rx = 0.0
+        self.cpu = cpu  # may be None (e.g. a switch-attached service node)
+        self.up = True
+
+
+class HostDownError(ConnectionError):
+    """A transfer touched a host that is down."""
+
+
+class Network:
+    """The cluster interconnect.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    default_bandwidth:
+        Per-host full-duplex NIC bandwidth (bytes/s).
+    latency:
+        Fixed one-way startup latency added to each finite transfer.
+    cpu_per_byte:
+        CPU-seconds charged per byte at each endpoint (protocol
+        processing); 0 disables the coupling.
+    """
+
+    def __init__(
+        self,
+        env: Any,
+        default_bandwidth: float = ETHERNET_100MBPS,
+        latency: float = DEFAULT_LATENCY,
+        cpu_per_byte: float = 0.0,
+    ):
+        if default_bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.env = env
+        self.default_bandwidth = float(default_bandwidth)
+        self.latency = float(latency)
+        self.cpu_per_byte = float(cpu_per_byte)
+        self._ports: Dict[str, _HostPort] = {}
+        self._flows: list[Flow] = []
+        self._last_update = env.now
+        self._wakeup: Optional[Event] = None
+        self._wakeup_time = math.inf
+
+    # -- topology -----------------------------------------------------------
+    def add_host(
+        self, name: str, cpu: Any = None, bandwidth: Optional[float] = None
+    ) -> None:
+        """Attach a host NIC. ``cpu`` enables protocol-processing coupling."""
+        if name in self._ports:
+            raise ValueError(f"host {name!r} already attached")
+        self._ports[name] = _HostPort(
+            name, bandwidth or self.default_bandwidth, cpu
+        )
+
+    def has_host(self, name: str) -> bool:
+        return name in self._ports
+
+    def set_host_up(self, name: str, up: bool) -> None:
+        """Mark a host up/down. Going down kills all its active flows."""
+        port = self._ports[name]
+        if port.up == up:
+            return
+        port.up = up
+        if not up:
+            self._advance()
+            victims = [
+                f for f in self._flows if name in (f.src, f.dst)
+            ]
+            for flow in victims:
+                self._flows.remove(flow)
+                flow.closed = True
+                if not flow.done.triggered:
+                    flow.done.fail(HostDownError(name))
+                    flow.done.defuse()
+            self._recompute()
+
+    def host_is_up(self, name: str) -> bool:
+        return self._ports[name].up
+
+    # -- byte accounting -----------------------------------------------
+    def bytes_sent(self, name: str) -> float:
+        self._advance()
+        return self._ports[name].bytes_tx
+
+    def bytes_received(self, name: str) -> float:
+        self._advance()
+        return self._ports[name].bytes_rx
+
+    def active_flows(self) -> list:
+        return list(self._flows)
+
+    # -- traffic --------------------------------------------------------
+    def transfer(
+        self, src: str, dst: str, nbytes: float, label: str = ""
+    ) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds (with the byte count) once the
+        last byte arrives; the transfer starts after the network
+        latency.  Fails with :class:`HostDownError` if an endpoint is or
+        goes down.
+        """
+        self._check_port(src)
+        self._check_port(dst)
+        result = Event(self.env)
+        if nbytes <= 0:
+            # Pure control signal: latency only.
+            tick = self.env.timeout(self.latency, value=0.0)
+            tick.callbacks.append(lambda ev: result.succeed(0.0))
+            return result
+
+        def _run():
+            yield self.env.timeout(self.latency)
+            if not (self._ports[src].up and self._ports[dst].up):
+                raise HostDownError(src if not self._ports[src].up else dst)
+            flow = self._open(src, dst, nbytes, label=label)
+            yield flow.done
+            return nbytes
+
+        proc = self.env.process(_run(), name=f"xfer:{label or src + '->' + dst}")
+
+        def _finish(ev):
+            if ev.ok:
+                result.succeed(ev.value)
+            else:
+                ev.defuse()
+                result.fail(ev.value)
+
+        proc.callbacks.append(_finish)
+        return result
+
+    def open_stream(
+        self,
+        src: str,
+        dst: str,
+        rate_cap: float = math.inf,
+        label: str = "",
+    ) -> Flow:
+        """Start an open-ended stream (e.g. a background bulk flow)."""
+        self._check_port(src)
+        self._check_port(dst)
+        if not (self._ports[src].up and self._ports[dst].up):
+            raise HostDownError(src if not self._ports[src].up else dst)
+        return self._open(src, dst, math.inf, rate_cap=rate_cap, label=label)
+
+    def close_stream(self, flow: Flow) -> None:
+        """Stop an open-ended stream."""
+        if flow.closed:
+            return
+        self._advance()
+        flow.closed = True
+        if flow in self._flows:
+            self._flows.remove(flow)
+        if not flow.done.triggered:
+            flow.done.succeed(flow.bytes_moved)
+        self._recompute()
+
+    # -- internals ------------------------------------------------------
+    def _check_port(self, name: str) -> None:
+        if name not in self._ports:
+            raise KeyError(f"host {name!r} is not attached to the network")
+
+    def _open(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        rate_cap: float = math.inf,
+        label: str = "",
+    ) -> Flow:
+        self._advance()
+        flow = Flow(self.env, src, dst, nbytes, rate_cap=rate_cap, label=label)
+        self._flows.append(flow)
+        self._recompute()
+        return flow
+
+    def _advance(self) -> None:
+        """Account bytes moved since the last update at current rates."""
+        now = self.env.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        for flow in self._flows:
+            moved = flow.rate * dt
+            if flow.finite:
+                moved = min(moved, flow.remaining)
+                flow.remaining -= moved
+            flow.bytes_moved += moved
+            self._ports[flow.src].bytes_tx += moved
+            self._ports[flow.dst].bytes_rx += moved
+
+    def _recompute(self) -> None:
+        """Progressive filling: assign max-min fair rates, then reschedule."""
+        flows = self._flows
+        for flow in flows:
+            flow.rate = 0.0
+        if flows:
+            # Residual capacity of every NIC direction in use.
+            residual: Dict[tuple, float] = {}
+            users: Dict[tuple, list] = {}
+            for flow in flows:
+                for res in (("tx", flow.src), ("rx", flow.dst)):
+                    if res not in residual:
+                        port = self._ports[res[1]]
+                        residual[res] = (
+                            port.tx_capacity if res[0] == "tx"
+                            else port.rx_capacity
+                        )
+                        users[res] = []
+                    users[res].append(flow)
+
+            unfrozen = set(flows)  # Flow objects hash by identity
+            guard = 0
+            while unfrozen:
+                guard += 1
+                if guard > 10 * len(flows) + 10:  # pragma: no cover
+                    raise RuntimeError("progressive filling did not converge")
+                # Largest equal increment every unfrozen flow can take.
+                delta = math.inf
+                for res, cap in residual.items():
+                    n = sum(1 for f in users[res] if f in unfrozen)
+                    if n:
+                        delta = min(delta, cap / n)
+                for flow in unfrozen:
+                    delta = min(delta, flow.rate_cap - flow.rate)
+                if delta is math.inf:  # pragma: no cover - defensive
+                    break
+                delta = max(delta, 0.0)
+                # Apply the increment and charge resources.
+                for flow in unfrozen:
+                    flow.rate += delta
+                for res in residual:
+                    n = sum(1 for f in users[res] if f in unfrozen)
+                    residual[res] -= delta * n
+                # Freeze flows at capped rate or on a saturated resource.
+                newly_frozen = set()
+                for flow in unfrozen:
+                    if flow.rate >= flow.rate_cap - _EPS:
+                        newly_frozen.add(flow)
+                        continue
+                    for res in (("tx", flow.src), ("rx", flow.dst)):
+                        if residual[res] <= _EPS * self.default_bandwidth:
+                            newly_frozen.add(flow)
+                            break
+                if not newly_frozen:  # pragma: no cover - defensive
+                    break
+                unfrozen -= newly_frozen
+
+        self._update_cpu_loads()
+        self._schedule_next_completion()
+
+    def _update_cpu_loads(self) -> None:
+        if self.cpu_per_byte <= 0:
+            return
+        totals = {name: 0.0 for name in self._ports}
+        for flow in self._flows:
+            totals[flow.src] += flow.rate
+            totals[flow.dst] += flow.rate
+        for name, total in totals.items():
+            cpu = self._ports[name].cpu
+            if cpu is not None:
+                cpu.set_comm_load(total * self.cpu_per_byte)
+
+    def _schedule_next_completion(self) -> None:
+        delay = math.inf
+        for flow in self._flows:
+            if flow.finite and flow.rate > 0:
+                if self._finished(flow):
+                    delay = 0.0
+                else:
+                    delay = min(delay, flow.remaining / flow.rate)
+        if delay is math.inf:
+            self._wakeup = None
+            self._wakeup_time = math.inf
+            return
+        when = self.env.now + delay
+        if (
+            self._wakeup is not None
+            and not self._wakeup.processed
+            and self._wakeup_time <= when + _EPS
+        ):
+            return
+        wakeup = self.env.timeout(max(delay, 0.0))
+        wakeup.callbacks.append(self._on_wakeup)
+        self._wakeup = wakeup
+        self._wakeup_time = when
+
+    def _finished(self, flow: Flow) -> bool:
+        """Done when less than a nanosecond of service remains.
+
+        Timestamps around t≈10³ s have float ulps near 10⁻¹³ s; at
+        10⁷ B/s that leaves micro-byte residues after an 'exact'
+        completion — tolerating up to 1 ns × rate of residual bytes
+        absorbs them without ever dropping a meaningful byte.
+        """
+        tolerance = 1e-9 * max(flow.rate, self.default_bandwidth * 1e-3)
+        return flow.finite and flow.remaining <= tolerance
+
+    def _on_wakeup(self, event: Event) -> None:
+        if event is not self._wakeup:
+            return  # stale timer
+        self._advance()
+        finished = [f for f in self._flows if self._finished(f)]
+        for flow in finished:
+            self._flows.remove(flow)
+            flow.closed = True
+            flow.remaining = 0.0
+            flow.done.succeed(flow.bytes_moved)
+        self._recompute()

@@ -1,0 +1,5 @@
+"""Per-host commander: delivers migration commands to processes."""
+
+from .commander import Commander, CommandLog
+
+__all__ = ["Commander", "CommandLog"]

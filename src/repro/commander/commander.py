@@ -1,0 +1,112 @@
+"""The per-host commander entity (paper §3, §3.3).
+
+"After receiving the message, the source machine's local commander
+issues a command to the migrating process to start the process
+migration."  The mechanism is faithful: "the address and the port of
+the destination machine are written to a temporary file and are read by
+the migrating process.  We defined this command as a user-defined
+signal."
+
+In the simulation the 'signal' is :meth:`HpcmRuntime.request_migration`;
+the temp file is a *real* file on disk when ``use_tempfile`` is on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..hpcm.record import MigrationOrder
+from ..protocol.messages import Ack, MigrateCommand
+from ..protocol.transport import Endpoint, EndpointRegistry
+
+
+@dataclass
+class CommandLog:
+    """One received migrate command, for the experiment logs."""
+
+    at: float
+    pid: int
+    dest: str
+    delivered: bool
+    detail: str = ""
+
+
+class Commander:
+    """Commander entity living on one host."""
+
+    def __init__(
+        self,
+        host: Any,
+        directory: EndpointRegistry,
+        use_tempfile: bool = False,
+        signal_latency: float = 0.001,
+    ):
+        self.host = host
+        self.env = host.env
+        self.endpoint = Endpoint(host, directory, name="commander")
+        self.use_tempfile = bool(use_tempfile)
+        self.signal_latency = float(signal_latency)
+        self.log: List[CommandLog] = []
+        self._stopped = False
+        self.proc = self.env.process(
+            self._run(), name=f"commander:{host.name}"
+        )
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            msg, sender, ts = yield self.endpoint.recv()
+            if not isinstance(msg, MigrateCommand):
+                continue
+            # Local signal delivery is fast but not free.
+            if self.signal_latency > 0:
+                yield self.env.timeout(self.signal_latency)
+            delivered, detail = self._deliver(msg)
+            self.log.append(
+                CommandLog(
+                    at=self.env.now,
+                    pid=msg.pid,
+                    dest=msg.dest,
+                    delivered=delivered,
+                    detail=detail,
+                )
+            )
+            self.endpoint.send_and_forget(
+                sender, Ack(host=self.host.name, ok=delivered,
+                            detail=detail)
+            )
+
+    def _deliver(self, msg: MigrateCommand) -> tuple:
+        """Signal the target process; returns (delivered, detail)."""
+        entry = self.host.procs.get(msg.pid)
+        if entry is None:
+            return False, f"no such pid {msg.pid}"
+        runtime = entry.hpcm_runtime
+        if runtime is None:
+            return False, f"pid {msg.pid} is not migration-enabled"
+        address_file: Optional[str] = None
+        if self.use_tempfile:
+            fd, address_file = tempfile.mkstemp(
+                prefix="hpcm-dest-", suffix=".addr", text=True
+            )
+            with os.fdopen(fd, "w", encoding="ascii") as fh:
+                fh.write(f"{msg.dest} 7777\n")
+        runtime.request_migration(
+            MigrationOrder(
+                dest_host=msg.dest,
+                issued_at=self.env.now,
+                reason=msg.reason,
+                decision_seconds=msg.decision_seconds,
+                address_file=address_file,
+            )
+        )
+        return True, ""

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the autonomic rescheduling runtime."""
+
+from .policy import (
+    KNOWN_METRICS,
+    MetricPredicate,
+    MigrationPolicy,
+    PAPER_POLICIES,
+    policy_1,
+    policy_2,
+    policy_3,
+)
+from .rescheduler import Rescheduler, ReschedulerConfig
+from .timeline import TraceEvent, build_timeline, format_timeline
+
+__all__ = [
+    "KNOWN_METRICS",
+    "MetricPredicate",
+    "MigrationPolicy",
+    "PAPER_POLICIES",
+    "Rescheduler",
+    "ReschedulerConfig",
+    "TraceEvent",
+    "build_timeline",
+    "format_timeline",
+    "policy_1",
+    "policy_2",
+    "policy_3",
+]

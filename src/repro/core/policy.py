@@ -1,0 +1,170 @@
+"""Migration policies (paper §5.3).
+
+A policy is a group of rules: *triggers* (any one firing marks the
+source overloaded), *source guards* (all must hold for a migration to
+be allowed), and *destination conditions* (all must hold on a candidate
+host).  The paper's three evaluation policies ship ready-made.
+
+Note on Policy 3's communication clause: the paper lists "the current
+incoming/outgoing communication flow is no more than 5 MB/s" under the
+migrate-when-any conditions, which read literally would trigger
+migration on every idle host.  We implement the evidently intended
+semantics — it is a *guard*: an overloaded host may only migrate a
+process out while its own communication flow is ≤ 5 MB/s (moving
+process state through a saturated NIC would stall both), and a
+destination is only eligible while its flow is ≤ 3 MB/s.  This
+interpretation reproduces Table 2's outcome (Policy 3 rejects the
+communication-busy workstation 2).
+"""
+
+from __future__ import annotations
+
+import operator as op_mod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from ..rules.model import ComplexRule, SimpleRule
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    "<": op_mod.lt,
+    "<=": op_mod.le,
+    ">": op_mod.gt,
+    ">=": op_mod.ge,
+}
+
+#: Metric names predicates may reference (must match SensorSuite keys).
+KNOWN_METRICS = frozenset({
+    "loadavg1", "loadavg5", "loadavg15", "cpu_util", "cpu_idle_pct",
+    "proc_count", "socket_count", "mem_avail_bytes", "mem_avail_pct",
+    "vmem_avail_pct", "disk_avail_bytes", "send_kbs", "recv_kbs",
+    "comm_mbs",
+})
+
+
+@dataclass(frozen=True)
+class MetricPredicate:
+    """``metric OP value`` over a status snapshot."""
+
+    metric: str
+    op: str
+    value: float
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+        if self.metric not in KNOWN_METRICS:
+            raise ValueError(f"unknown metric {self.metric!r}")
+
+    def holds(self, metrics: Dict[str, float]) -> bool:
+        """True when the predicate is satisfied (missing metric → False)."""
+        value = metrics.get(self.metric)
+        if value is None:
+            return False
+        return _OPS[self.op](float(value), self.value)
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.value:g}"
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """A named group of trigger/guard/destination rules."""
+
+    name: str
+    enabled: bool = True
+    #: Any one firing ⇒ the host wants to migrate out.
+    triggers: Tuple[MetricPredicate, ...] = ()
+    #: All must hold for the source to actually migrate.
+    source_guards: Tuple[MetricPredicate, ...] = ()
+    #: All must hold on an eligible destination.
+    dest_conditions: Tuple[MetricPredicate, ...] = ()
+
+    def to_rules(self, base_number: int = 100) -> list:
+        """Express the triggers in the paper's rule-file vocabulary.
+
+        Returns simple rules (one per trigger) plus a complex OR rule —
+        documentation of how policies and the §4 rule engine are two
+        views of the same mechanism.
+        """
+        script_for = {
+            "loadavg1": ("loadAvg.sh", "1"),
+            "loadavg5": ("loadAvg.sh", "5"),
+            "proc_count": ("procCount.sh", ""),
+            "comm_mbs": ("netFlow.sh", ""),
+            "cpu_idle_pct": ("processorStatus.sh", ""),
+            "socket_count": ("ntStatIpv4.sh", "ESTABLISHED"),
+        }
+        rules = []
+        numbers = []
+        for i, trig in enumerate(self.triggers):
+            script, param = script_for.get(trig.metric,
+                                           (f"{trig.metric}.sh", ""))
+            number = base_number + i
+            numbers.append(number)
+            rules.append(
+                SimpleRule(
+                    number=number,
+                    name=f"{self.name}_t{i}",
+                    script=script,
+                    operator=trig.op if trig.op in ("<", ">") else
+                    ("<" if trig.op == "<=" else ">"),
+                    busy=trig.value,
+                    overloaded=trig.value,
+                    description=str(trig),
+                    param=param,
+                )
+            )
+        if numbers:
+            rules.append(
+                ComplexRule(
+                    number=base_number + len(numbers),
+                    name=f"{self.name}_any",
+                    expression=" | ".join(f"r{n}" for n in numbers),
+                    rule_numbers=tuple(numbers),
+                    description=f"any trigger of {self.name}",
+                )
+            )
+        return rules
+
+
+def policy_1() -> MigrationPolicy:
+    """Policy 1: No migration."""
+    return MigrationPolicy(name="policy-1", enabled=False)
+
+
+def policy_2() -> MigrationPolicy:
+    """Policy 2: load/process thresholds, communication-blind.
+
+    Migrate when 1-min load > 2 or active processes > 150; destination
+    must have load < 1 and processes < 100.
+    """
+    return MigrationPolicy(
+        name="policy-2",
+        triggers=(
+            MetricPredicate("loadavg1", ">", 2.0),
+            MetricPredicate("proc_count", ">", 150.0),
+        ),
+        dest_conditions=(
+            MetricPredicate("loadavg1", "<", 1.0),
+            MetricPredicate("proc_count", "<", 100.0),
+        ),
+    )
+
+
+def policy_3() -> MigrationPolicy:
+    """Policy 3: Policy 2 plus communication awareness.
+
+    Source may migrate only while its flow ≤ 5 MB/s; destination must
+    additionally have flow ≤ 3 MB/s.
+    """
+    base = policy_2()
+    return MigrationPolicy(
+        name="policy-3",
+        triggers=base.triggers,
+        source_guards=(MetricPredicate("comm_mbs", "<=", 5.0),),
+        dest_conditions=base.dest_conditions
+        + (MetricPredicate("comm_mbs", "<=", 3.0),),
+    )
+
+
+PAPER_POLICIES = {1: policy_1, 2: policy_2, 3: policy_3}

@@ -1,0 +1,203 @@
+"""The rescheduler façade: deploy the whole runtime system on a cluster.
+
+Wires one monitor + one commander per host and a (possibly
+hierarchical) registry/scheduler, exactly the Figure 1 topology, and
+provides helpers for launching migration-enabled applications under
+its management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cluster.builder import Cluster
+from ..commander.commander import Commander
+from ..hpcm.app import MigratableApp
+from ..hpcm.runtime import HpcmRuntime, launch as hpcm_launch
+from ..hpcm.runtime import launch_world as hpcm_launch_world
+from ..monitor.monitor import DEFAULT_CYCLE_COST, DEFAULT_INTERVAL, Monitor
+from ..mpi.runtime import MpiRuntime
+from ..protocol.transport import EndpointRegistry
+from ..registry.registry import RegistryScheduler
+from ..registry.strategies import first_fit
+from ..rules.model import RuleSet
+from .policy import MigrationPolicy, policy_1
+
+
+@dataclass
+class ReschedulerConfig:
+    """All deployment knobs in one place."""
+
+    #: Monitoring interval in seconds (paper: 10 s).
+    interval: float = DEFAULT_INTERVAL
+    #: Consecutive overloaded samples required before reporting
+    #: overloaded (the warm-up that avoids fault migrations).
+    sustain: int = 3
+    #: CPU-seconds one monitoring cycle costs.
+    cycle_cost: float = DEFAULT_CYCLE_COST
+    #: Soft-state lease (seconds without a push → unavailable).
+    lease: float = 35.0
+    #: Destination-selection strategy.
+    strategy: Callable = first_fit
+    #: Seconds between repeat migrate commands for one host.
+    command_cooldown: float = 30.0
+    #: Write real temp files for destination addresses.
+    use_tempfile: bool = False
+    #: Extra rule set evaluated by every monitor.
+    ruleset: Optional[RuleSet] = None
+    #: Per-state monitoring intervals (overrides ``interval``).
+    intervals_by_state: Dict = field(default_factory=dict)
+    #: Registration model (§3.2): "push" (the paper's soft-state
+    #: choice) or "pull" (the registry queries on its own schedule).
+    mode: str = "push"
+
+
+class Rescheduler:
+    """Deployed rescheduler runtime on one cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: Optional[MigrationPolicy] = None,
+        config: Optional[ReschedulerConfig] = None,
+        registry_host: Optional[str] = None,
+        monitored_hosts: Optional[List[str]] = None,
+        directory: Optional[EndpointRegistry] = None,
+        parent_address: Optional[str] = None,
+        mpi: Optional[MpiRuntime] = None,
+        registry_name: str = "registry",
+        schema_store: Optional[Any] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.policy = policy or policy_1()
+        self.config = config or ReschedulerConfig()
+        self.directory = directory or EndpointRegistry()
+        self.mpi = mpi or MpiRuntime(cluster)
+        #: Optional cross-run schema persistence (self-adjustment).
+        self.schema_store = schema_store
+
+        host_names = (
+            monitored_hosts if monitored_hosts is not None
+            else [h.name for h in cluster]
+        )
+        registry_host = registry_host or (
+            host_names[0] if host_names else cluster.host_list()[0].name
+        )
+
+        self.registry = RegistryScheduler(
+            cluster.host(registry_host),
+            self.directory,
+            name=registry_name,
+            lease=self.config.lease,
+            policy=self.policy,
+            strategy=self.config.strategy,
+            rng=cluster.rng.stream("registry"),
+            command_cooldown=self.config.command_cooldown,
+            parent_address=parent_address,
+            mode=self.config.mode,
+            poll_interval=self.config.interval,
+        )
+        # The paper's first fit scans "the machine list": seed the
+        # registry's table in deployment order so the scan order is the
+        # configured list, not the race of first Register arrivals.
+        for name in host_names:
+            self.registry.table.register(
+                name, cluster.host(name).static_info.as_dict()
+            )
+        self.monitors: Dict[str, Monitor] = {}
+        self.commanders: Dict[str, Commander] = {}
+        for name in host_names:
+            host = cluster.host(name)
+            self.monitors[name] = Monitor(
+                host,
+                self.directory,
+                registry_address=self.registry.address,
+                ruleset=self.config.ruleset,
+                policy=self.policy,
+                interval=self.config.interval,
+                intervals_by_state=self.config.intervals_by_state,
+                sustain=self.config.sustain,
+                cycle_cost=self.config.cycle_cost,
+                rng=cluster.rng.stream(f"monitor:{name}"),
+                mode=self.config.mode,
+            )
+            self.commanders[name] = Commander(
+                host,
+                self.directory,
+                use_tempfile=self.config.use_tempfile,
+            )
+        self.apps: List[HpcmRuntime] = []
+
+    # -- application management -----------------------------------------
+    def launch_app(
+        self,
+        app: MigratableApp,
+        host_name: str,
+        params: Optional[dict] = None,
+        **kwargs: Any,
+    ) -> HpcmRuntime:
+        """Start a migration-enabled application under management.
+
+        With a :class:`~repro.schema.SchemaStore` configured, the
+        freshest schema for the application (folding in the statistics
+        of previous runs) is used unless the caller passes one, and the
+        post-run schema is recorded back — the paper's self-adjustment
+        loop.
+        """
+        store = self.schema_store
+        if store is not None and "schema" not in kwargs:
+            stored = store.get(app.name)
+            if stored is not None:
+                kwargs["schema"] = stored
+        runtime = hpcm_launch(
+            self.mpi,
+            app,
+            self.cluster.host(host_name),
+            params=params,
+            rng=self.cluster.rng.stream(f"app:{app.name}:{len(self.apps)}"),
+            **kwargs,
+        )
+        self.apps.append(runtime)
+        if store is not None:
+            def _record(event):
+                if event._ok:
+                    store.record_run(runtime.schema)
+            runtime.done.callbacks.append(_record)
+        return runtime
+
+    def launch_mpi_app(
+        self,
+        app_factory: Callable[[int], MigratableApp],
+        host_names: List[str],
+        params: Optional[dict] = None,
+        **kwargs: Any,
+    ) -> List[HpcmRuntime]:
+        """Start a multi-rank migration-enabled MPI application."""
+        runtimes = hpcm_launch_world(
+            self.mpi,
+            app_factory,
+            [self.cluster.host(name) for name in host_names],
+            params=params,
+            rng=self.cluster.rng.stream(f"mpi-app:{len(self.apps)}"),
+            **kwargs,
+        )
+        self.apps.extend(runtimes)
+        return runtimes
+
+    # -- observability ----------------------------------------------------
+    @property
+    def decisions(self) -> list:
+        return self.registry.decisions
+
+    def migration_records(self) -> list:
+        return [rec for app in self.apps for rec in app.migrations]
+
+    def stop(self) -> None:
+        """Stop all entities (monitors unregister on their next tick)."""
+        for monitor in self.monitors.values():
+            monitor.stop()
+        for commander in self.commanders.values():
+            commander.stop()
+        self.registry.stop()

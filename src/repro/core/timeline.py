@@ -1,0 +1,118 @@
+"""Merged event timeline of a rescheduler deployment.
+
+Collects what every entity already logs — registry decisions,
+commander deliveries, migration phase records, application lifecycle —
+into one time-ordered trace.  Useful for debugging experiments and for
+narrating what the autonomic loop did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    t: float
+    kind: str          # decision / command / migration-* / app-*
+    host: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[t={self.t:10.3f}] {self.kind:18s} {self.host:8s} {parts}"
+
+
+def build_timeline(rescheduler: Any) -> List[TraceEvent]:
+    """All recorded events of a deployment, time-ordered."""
+    events: List[TraceEvent] = []
+
+    for decision in rescheduler.decisions:
+        events.append(TraceEvent(
+            t=decision.at,
+            kind="decision",
+            host=decision.source,
+            detail={
+                "dest": decision.dest or "none",
+                "pid": decision.pid,
+                "decision_ms": round(decision.decision_seconds * 1e3, 2),
+                "escalated": decision.escalated,
+            },
+        ))
+
+    for name, commander in rescheduler.commanders.items():
+        for entry in commander.log:
+            events.append(TraceEvent(
+                t=entry.at,
+                kind="command",
+                host=name,
+                detail={
+                    "pid": entry.pid,
+                    "dest": entry.dest,
+                    "delivered": entry.delivered,
+                    **({"error": entry.detail} if entry.detail else {}),
+                },
+            ))
+
+    for app in rescheduler.apps:
+        if app.started_at is not None:
+            events.append(TraceEvent(
+                t=app.started_at, kind="app-start",
+                host=_first_host(app),
+                detail={"app": app.app.name},
+            ))
+        if app.finished_at is not None:
+            events.append(TraceEvent(
+                t=app.finished_at, kind="app-finish",
+                host=app.host.name,
+                detail={"app": app.app.name, "status": app.status},
+            ))
+        for rec in app.migrations:
+            events.append(TraceEvent(
+                t=rec.pollpoint_at, kind="migration-start",
+                host=rec.source,
+                detail={"app": app.app.name, "dest": rec.dest,
+                        "reason": rec.reason or "-"},
+            ))
+            if rec.succeeded:
+                events.append(TraceEvent(
+                    t=rec.resumed_at, kind="migration-resume",
+                    host=rec.dest,
+                    detail={"app": app.app.name,
+                            "mb": round(rec.memory_bytes / 2**20, 2)},
+                ))
+                events.append(TraceEvent(
+                    t=rec.completed_at, kind="migration-done",
+                    host=rec.dest,
+                    detail={"app": app.app.name,
+                            "total_s": round(rec.total_seconds, 2)},
+                ))
+            elif rec.failure:
+                events.append(TraceEvent(
+                    t=rec.pollpoint_at, kind="migration-failed",
+                    host=rec.source,
+                    detail={"app": app.app.name, "why": rec.failure},
+                ))
+
+    events.sort(key=lambda e: (e.t, e.kind))
+    return events
+
+
+def format_timeline(events: List[TraceEvent],
+                    kinds: Optional[set] = None) -> str:
+    """Render a (filtered) timeline as plain text."""
+    lines = [
+        str(event) for event in events
+        if kinds is None or event.kind in kinds
+    ]
+    return "\n".join(lines) if lines else "(no events)"
+
+
+def _first_host(app: Any) -> str:
+    """The host the app started on (before any migration)."""
+    if app.migrations:
+        return app.migrations[0].source
+    return app.host.name

@@ -1,0 +1,54 @@
+"""HPCM-style heterogeneous process-migration middleware.
+
+Applications keep all live state in one picklable object and advance in
+steps (the gaps are poll-points); the runtime captures, streams and
+restores that state to move a running process between hosts, re-pointing
+its MPI rank and mailbox, with restoration overlapping resumed
+execution.
+"""
+
+from .app import MigratableApp
+from .checkpoint import (
+    CheckpointError,
+    CheckpointingApp,
+    CheckpointMeta,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .context import AppContext
+from .errors import HpcmError, MigrationFailed, StateCaptureError
+from .record import MigrationOrder, MigrationRecord
+from .runtime import (
+    DEFAULT_CHUNKS,
+    DEFAULT_RESUME_FRACTION,
+    DEFAULT_SERIALIZE_RATE,
+    HpcmRuntime,
+    launch,
+    launch_world,
+)
+from .statexfer import capture, chunk, join, restore
+
+__all__ = [
+    "AppContext",
+    "CheckpointError",
+    "CheckpointingApp",
+    "CheckpointMeta",
+    "read_checkpoint",
+    "write_checkpoint",
+    "DEFAULT_CHUNKS",
+    "DEFAULT_RESUME_FRACTION",
+    "DEFAULT_SERIALIZE_RATE",
+    "HpcmError",
+    "HpcmRuntime",
+    "MigratableApp",
+    "MigrationFailed",
+    "MigrationOrder",
+    "MigrationRecord",
+    "StateCaptureError",
+    "capture",
+    "chunk",
+    "join",
+    "launch",
+    "launch_world",
+    "restore",
+]

@@ -1,0 +1,51 @@
+"""The migratable-application contract.
+
+HPCM's precompiler transforms C/Fortran programs so that all live data
+is collectible at *poll-points*.  The Python analog is a contract: an
+application keeps **all** of its live state in one picklable object and
+advances in discrete steps; the gaps between steps are the poll-points
+where the middleware may capture and move the state.
+
+Implementations subclass :class:`MigratableApp`:
+
+* :meth:`create_state` builds the initial state object;
+* :meth:`run_step` is a *generator* advancing one step — it may yield
+  compute jobs (``ctx.compute(...)``) and MPI operations
+  (``yield from ctx.comm.send(...)``) and returns ``True`` while more
+  steps remain;
+* :meth:`finalize` extracts the final result from the state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+from ..schema import ApplicationSchema
+
+
+class MigratableApp(abc.ABC):
+    """Base class for applications runnable under HPCM."""
+
+    #: Application name (used in schemas, process tables, traces).
+    name: str = "app"
+
+    @abc.abstractmethod
+    def create_state(self, params: dict, rng: Any) -> Any:
+        """Build the initial picklable state object."""
+
+    @abc.abstractmethod
+    def run_step(self, state: Any, ctx: Any):
+        """Advance one step (a generator); return True while unfinished.
+
+        Everything that must survive a migration lives in ``state``;
+        local variables die at the poll-point.
+        """
+
+    def finalize(self, state: Any) -> Any:
+        """Extract the result once :meth:`run_step` returns False."""
+        return state
+
+    def default_schema(self) -> ApplicationSchema:
+        """Schema used when the caller does not provide one."""
+        return ApplicationSchema(name=self.name)

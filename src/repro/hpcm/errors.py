@@ -1,0 +1,16 @@
+"""HPCM middleware errors."""
+
+from __future__ import annotations
+
+
+class HpcmError(Exception):
+    """Base class for migration-middleware failures."""
+
+
+class MigrationFailed(HpcmError):
+    """A migration attempt could not complete; the process keeps
+    running at the source (no partial results are lost)."""
+
+
+class StateCaptureError(HpcmError):
+    """The application state could not be serialized at a poll-point."""

@@ -1,0 +1,90 @@
+"""Migration phase timing records (the quantities of paper §5.2).
+
+The paper decomposes a migration into: time to notice the overload
+(warm-up, outside this record), decision time, initialization of the
+destination process (LAM DPM spawn, ~0.3 s), time to reach the nearest
+poll-point (~1.4 s), data restoration / resume (<1 s), and total
+completion (~7.5 s).  Every migration produces one record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class MigrationOrder:
+    """The command delivered to a migrating process (the 'user signal'
+    plus the temp file carrying the destination address)."""
+
+    dest_host: str
+    issued_at: float
+    reason: str = ""
+    #: Decision latency measured by the registry/scheduler.
+    decision_seconds: float = 0.0
+    #: Optional path of a real temp file holding "host port" (paper
+    #: fidelity: the commander writes it, the process reads it).
+    address_file: Optional[str] = None
+
+
+@dataclass
+class MigrationRecord:
+    """Timing and size breakdown of one migration."""
+
+    source: str
+    dest: str
+    reason: str = ""
+    #: When the commander delivered the order.
+    ordered_at: float = 0.0
+    #: Registry decision latency (seconds).
+    decision_seconds: float = 0.0
+    #: When the process reached its poll-point and began migrating.
+    pollpoint_at: float = 0.0
+    #: When the initialized process was running on the destination.
+    spawned_at: float = 0.0
+    #: When execution resumed on the destination.
+    resumed_at: float = 0.0
+    #: When the last state byte arrived (migration complete).
+    completed_at: float = 0.0
+    memory_bytes: int = 0
+    exec_bytes: int = 0
+    succeeded: bool = False
+    failure: str = ""
+
+    # -- derived phase durations (seconds) -------------------------------
+    @property
+    def time_to_pollpoint(self) -> float:
+        return self.pollpoint_at - self.ordered_at
+
+    @property
+    def init_seconds(self) -> float:
+        return self.spawned_at - self.pollpoint_at
+
+    @property
+    def resume_seconds(self) -> float:
+        return self.resumed_at - self.spawned_at
+
+    @property
+    def drain_seconds(self) -> float:
+        """Residual state streamed after execution already resumed."""
+        return self.completed_at - self.resumed_at
+
+    @property
+    def total_seconds(self) -> float:
+        return self.completed_at - self.ordered_at
+
+    def summary(self) -> dict:
+        return {
+            "source": self.source,
+            "dest": self.dest,
+            "reason": self.reason,
+            "decision_s": self.decision_seconds,
+            "to_pollpoint_s": self.time_to_pollpoint,
+            "init_s": self.init_seconds,
+            "resume_s": self.resume_seconds,
+            "drain_s": self.drain_seconds,
+            "total_s": self.total_seconds,
+            "memory_bytes": self.memory_bytes,
+            "succeeded": self.succeeded,
+        }

@@ -1,0 +1,46 @@
+"""Live mode: the rescheduler on real threads, sockets and /proc.
+
+Demonstrates that the design is not simulation-bound: the same XML
+protocol, soft-state table, victim selection and policies run as real
+threads exchanging frames over localhost TCP, with /proc-backed
+sensors, rescheduling genuinely-computing tasks whose pickled state
+moves over the wire.
+"""
+
+from .node import LiveNode, LiveTask
+from .proc_sensors import (
+    CpuIdleSampler,
+    NetRateSampler,
+    load_averages,
+    memory_info,
+    net_bytes,
+    process_count,
+    snapshot,
+)
+from .registry import LiveDecision, LiveRegistry
+from .tasks import (
+    TASK_TYPES,
+    collatz_census_state,
+    sqrt_sum_expected,
+    sqrt_sum_state,
+)
+from .transport import LiveEndpoint
+
+__all__ = [
+    "CpuIdleSampler",
+    "LiveDecision",
+    "LiveEndpoint",
+    "LiveNode",
+    "LiveRegistry",
+    "LiveTask",
+    "NetRateSampler",
+    "TASK_TYPES",
+    "collatz_census_state",
+    "load_averages",
+    "memory_info",
+    "net_bytes",
+    "process_count",
+    "snapshot",
+    "sqrt_sum_expected",
+    "sqrt_sum_state",
+]

@@ -1,0 +1,229 @@
+"""A live node: worker + monitor + commander in one real process.
+
+Each :class:`LiveNode` owns a TCP endpoint, executes checkpointable
+tasks on worker threads, pushes soft-state status updates to the
+registry (monitor role), and acts on incoming ``MigrateCommand``s by
+checkpointing the task at its next poll-point and shipping the pickled
+state to the destination node over a real socket (commander + HPCM
+roles).
+
+Load is the node's *task occupancy* plus any injected synthetic load —
+deterministic for demos and tests — while genuine ``/proc`` metrics
+ride along in the status updates for observability.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..protocol.messages import MigrateCommand, Register, StatusUpdate
+from ..rules.states import SystemState
+from . import proc_sensors
+from .tasks import TASK_TYPES
+from .transport import LiveEndpoint
+
+
+@dataclass
+class LiveTask:
+    """One running (or checkpointed) task."""
+
+    task_id: int
+    task_type: str
+    state: dict
+    started_at: float
+    est_seconds: float = 60.0
+    done: threading.Event = field(default_factory=threading.Event)
+    #: Set to ask the worker to checkpoint at the next poll-point.
+    migrate_to: Optional[str] = None
+    result: Optional[dict] = None
+    hops: int = 0
+
+
+class LiveNode:
+    """One virtual host of the live deployment."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        registry_address: Optional[str] = None,
+        interval: float = 0.5,
+        base_load: float = 0.1,
+        capacity_threshold: float = 1.5,
+        port: int = 0,
+    ):
+        self.name = name
+        self.endpoint = LiveEndpoint(name, port=port)
+        self.registry_address = registry_address
+        self.interval = float(interval)
+        self.base_load = float(base_load)
+        self.capacity_threshold = float(capacity_threshold)
+        self.injected_load = 0.0
+        self.tasks: Dict[int, LiveTask] = {}
+        self.completed: list = []
+        self.migrations_out = 0
+        self.migrations_in = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._cpu = proc_sensors.CpuIdleSampler()
+        self._net = proc_sensors.NetRateSampler()
+        self._threads = [
+            threading.Thread(target=self._serve_loop,
+                             name=f"{name}-serve", daemon=True),
+            threading.Thread(target=self._monitor_loop,
+                             name=f"{name}-monitor", daemon=True),
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- public API -------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def submit(self, task_type: str, state: dict,
+               est_seconds: float = 60.0) -> LiveTask:
+        """Run a checkpointable task on this node."""
+        if task_type not in TASK_TYPES:
+            raise KeyError(f"unknown task type {task_type!r}")
+        task = LiveTask(
+            task_id=next(self._ids),
+            task_type=task_type,
+            state=state,
+            started_at=time.monotonic(),
+            est_seconds=est_seconds,
+        )
+        with self._lock:
+            self.tasks[task.task_id] = task
+        threading.Thread(target=self._run_task, args=(task,),
+                         name=f"{self.name}-task{task.task_id}",
+                         daemon=True).start()
+        return task
+
+    def inject_load(self, load: float) -> None:
+        """Add synthetic load (the demo's 'additional tasks')."""
+        self.injected_load = float(load)
+
+    def current_load(self) -> float:
+        with self._lock:
+            return (self.base_load + len(self.tasks)
+                    + self.injected_load)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.endpoint.close()
+
+    # -- worker ---------------------------------------------------------
+    def _run_task(self, task: LiveTask) -> None:
+        step = TASK_TYPES[task.task_type]
+        while not self._stop.is_set():
+            more = step(task.state)  # one poll-point per iteration
+            dest = task.migrate_to
+            if dest is not None and more:
+                self._checkpoint_and_ship(task, dest)
+                return
+            if not more:
+                with self._lock:
+                    self.tasks.pop(task.task_id, None)
+                    task.result = dict(task.state)
+                    self.completed.append(task)
+                task.done.set()
+                return
+
+    def _checkpoint_and_ship(self, task: LiveTask, dest: str) -> None:
+        blob = pickle.dumps(task.state, pickle.HIGHEST_PROTOCOL)
+        header = {
+            "task_type": task.task_type,
+            "est_seconds": task.est_seconds,
+            "origin": self.name,
+            "hops": task.hops + 1,
+        }
+        ok = self.endpoint.send_state(dest, header, blob)
+        with self._lock:
+            self.tasks.pop(task.task_id, None)
+        if ok:
+            self.migrations_out += 1
+        else:
+            # Destination unreachable: resume locally (no loss).
+            task.migrate_to = None
+            with self._lock:
+                self.tasks[task.task_id] = task
+            threading.Thread(target=self._run_task, args=(task,),
+                             daemon=True).start()
+
+    # -- inbox (commander + migration receiver) ---------------------------
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            item = self.endpoint.recv(timeout=0.1)
+            if item is None:
+                continue
+            kind, payload = item
+            if kind == "msg":
+                msg, sender, ts = payload
+                if isinstance(msg, MigrateCommand):
+                    self._handle_migrate(msg)
+            elif kind == "state":
+                header, blob = payload
+                state = pickle.loads(blob)
+                task = self.submit(header["task_type"], state,
+                                   est_seconds=header["est_seconds"])
+                task.hops = header.get("hops", 1)
+                self.migrations_in += 1
+
+    def _handle_migrate(self, msg: MigrateCommand) -> None:
+        with self._lock:
+            task = self.tasks.get(msg.pid)
+        if task is not None:
+            # The user-defined signal: acted on at the next poll-point.
+            task.migrate_to = msg.dest
+
+    # -- monitor ----------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        if self.registry_address:
+            self.endpoint.send_message(
+                self.registry_address,
+                Register(host=self.address,
+                         static_info={"name": self.name}),
+                timestamp=time.time(),
+            )
+        while not self._stop.is_set():
+            time.sleep(self.interval)
+            if not self.registry_address or self._stop.is_set():
+                continue
+            self.endpoint.send_message(
+                self.registry_address,
+                self._status_update(),
+                timestamp=time.time(),
+            )
+
+    def _status_update(self) -> StatusUpdate:
+        load = self.current_load()
+        if load > self.capacity_threshold:
+            state = SystemState.OVERLOADED
+        elif load > 0.9:
+            state = SystemState.BUSY
+        else:
+            state = SystemState.FREE
+        metrics = proc_sensors.snapshot(self._cpu, self._net)
+        metrics["loadavg1"] = load  # the controllable demo load
+        metrics["proc_count"] = float(len(self.tasks))
+        with self._lock:
+            now = time.monotonic()
+            processes = [
+                {
+                    "pid": t.task_id,
+                    "name": t.task_type,
+                    "start_time": t.started_at,
+                    "est_completion": t.started_at + t.est_seconds,
+                    "data_locality": 0.0,
+                }
+                for t in self.tasks.values()
+            ]
+        return StatusUpdate(host=self.address, state=state,
+                            metrics=metrics, processes=processes)

@@ -1,0 +1,151 @@
+"""Real system sensors backed by /proc (Linux).
+
+The simulated script engine's counterpart for live mode: the same
+quantities the paper's shell scripts gathered with ``vmstat``,
+``netstat`` and ``ps``, read from procfs.  Each sensor degrades
+gracefully (returns ``None``) on platforms without the file.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+
+def load_averages() -> Optional[tuple]:
+    """(1-min, 5-min, 15-min) load averages."""
+    try:
+        with open("/proc/loadavg", "r", encoding="ascii") as fh:
+            parts = fh.read().split()
+        return float(parts[0]), float(parts[1]), float(parts[2])
+    except (OSError, IndexError, ValueError):
+        try:
+            return os.getloadavg()
+        except (OSError, AttributeError):
+            return None
+
+
+def process_count() -> Optional[int]:
+    """Number of processes (numeric directories under /proc)."""
+    try:
+        return sum(1 for name in os.listdir("/proc") if name.isdigit())
+    except OSError:
+        return None
+
+
+def memory_info() -> Optional[dict]:
+    """MemTotal / MemAvailable / SwapTotal / SwapFree in bytes."""
+    wanted = {"MemTotal", "MemAvailable", "SwapTotal", "SwapFree"}
+    out = {}
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as fh:
+            for line in fh:
+                key, _, rest = line.partition(":")
+                if key in wanted:
+                    out[key] = int(rest.split()[0]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    if "MemTotal" not in out:
+        return None
+    out["mem_avail_pct"] = (
+        100.0 * out.get("MemAvailable", 0) / out["MemTotal"]
+    )
+    return out
+
+
+def _read_cpu_times() -> Optional[tuple]:
+    """(idle_ticks, total_ticks) from the aggregate cpu line."""
+    try:
+        with open("/proc/stat", "r", encoding="ascii") as fh:
+            line = fh.readline()
+        fields = [int(x) for x in line.split()[1:]]
+        idle = fields[3] + (fields[4] if len(fields) > 4 else 0)
+        return idle, sum(fields)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class CpuIdleSampler:
+    """Windowed CPU idle percentage (differences /proc/stat reads)."""
+
+    def __init__(self):
+        self._last = _read_cpu_times()
+
+    def sample(self) -> Optional[float]:
+        """Idle % since the previous call (None on first/unsupported)."""
+        current = _read_cpu_times()
+        if current is None or self._last is None:
+            self._last = current
+            return None
+        d_idle = current[0] - self._last[0]
+        d_total = current[1] - self._last[1]
+        self._last = current
+        if d_total <= 0:
+            return None
+        return 100.0 * d_idle / d_total
+
+
+def net_bytes() -> Optional[tuple]:
+    """(rx_bytes, tx_bytes) summed over non-loopback interfaces."""
+    try:
+        rx = tx = 0
+        with open("/proc/net/dev", "r", encoding="ascii") as fh:
+            for line in fh.readlines()[2:]:
+                name, _, rest = line.partition(":")
+                if name.strip() == "lo":
+                    continue
+                fields = rest.split()
+                rx += int(fields[0])
+                tx += int(fields[8])
+        return rx, tx
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class NetRateSampler:
+    """Windowed KB/s send/receive rates."""
+
+    def __init__(self):
+        self._last = (time.monotonic(), net_bytes())
+
+    def sample(self) -> Optional[dict]:
+        now = time.monotonic()
+        current = net_bytes()
+        last_t, last_v = self._last
+        self._last = (now, current)
+        if current is None or last_v is None or now <= last_t:
+            return None
+        dt = now - last_t
+        return {
+            "recv_kbs": (current[0] - last_v[0]) / dt / 1024.0,
+            "send_kbs": (current[1] - last_v[1]) / dt / 1024.0,
+        }
+
+
+def snapshot(cpu_sampler: Optional[CpuIdleSampler] = None,
+             net_sampler: Optional[NetRateSampler] = None) -> dict:
+    """Best-effort metric snapshot in the simulated sensors' vocabulary."""
+    out: dict = {}
+    loads = load_averages()
+    if loads:
+        out["loadavg1"], out["loadavg5"], out["loadavg15"] = loads
+    procs = process_count()
+    if procs is not None:
+        out["proc_count"] = float(procs)
+    mem = memory_info()
+    if mem:
+        out["mem_avail_pct"] = mem["mem_avail_pct"]
+    if cpu_sampler is not None:
+        idle = cpu_sampler.sample()
+        if idle is not None:
+            out["cpu_idle_pct"] = idle
+            out["cpu_util"] = 1.0 - idle / 100.0
+    if net_sampler is not None:
+        rates = net_sampler.sample()
+        if rates:
+            out.update(rates)
+            out["comm_mbs"] = (
+                (rates["send_kbs"] + rates["recv_kbs"]) / 1024.0
+            )
+    return out

@@ -1,0 +1,139 @@
+"""Live registry/scheduler: the decision entity over real sockets.
+
+Reuses the simulation's soft-state table and victim selection
+unchanged (they only need a ``.now`` clock), listening for XML status
+pushes from :class:`~repro.live.node.LiveNode` monitors and sending
+``MigrateCommand``s back — the paper's architecture running on a real
+wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..monitor.selector import ProcessInfo, select_victim
+from ..protocol.messages import (
+    MigrateCommand,
+    Register,
+    StatusUpdate,
+    Unregister,
+)
+from ..registry.softstate import SoftStateTable
+from ..registry.strategies import first_fit
+from ..rules.states import SystemState
+from .transport import LiveEndpoint
+
+
+class _WallClock:
+    """Duck-typed environment for SoftStateTable: just a clock."""
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+
+@dataclass
+class LiveDecision:
+    at: float
+    source: str
+    dest: Optional[str]
+    pid: Optional[int]
+
+
+class LiveRegistry:
+    """Registry/scheduler thread for a live deployment."""
+
+    def __init__(
+        self,
+        policy: Any = None,
+        lease: float = 5.0,
+        command_cooldown: float = 2.0,
+        strategy=first_fit,
+        port: int = 0,
+    ):
+        self.endpoint = LiveEndpoint("registry", port=port)
+        self.table = SoftStateTable(_WallClock(), lease=lease)
+        self.policy = policy
+        self.strategy = strategy
+        self.command_cooldown = float(command_cooldown)
+        self.decisions: List[LiveDecision] = []
+        self._last_command: dict = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="live-registry", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> str:
+        return self.endpoint.address
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.endpoint.close()
+
+    # -- main loop ------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            item = self.endpoint.recv(timeout=0.1)
+            if item is None:
+                continue
+            kind, payload = item
+            if kind != "msg":
+                continue
+            msg, sender, ts = payload
+            with self._lock:
+                if isinstance(msg, Register):
+                    self.table.register(msg.host, msg.static_info)
+                elif isinstance(msg, StatusUpdate):
+                    self.table.update(msg.host, msg.state, msg.metrics,
+                                      msg.processes)
+                    if msg.state is SystemState.OVERLOADED:
+                        self._decide(msg)
+                elif isinstance(msg, Unregister):
+                    self.table.unregister(msg.host)
+
+    def _decide(self, update: StatusUpdate) -> None:
+        source = update.host
+        now = time.monotonic()
+        last = self._last_command.get(source)
+        if last is not None and now - last < self.command_cooldown:
+            return
+        victim = select_victim(
+            ProcessInfo.from_dict(p) for p in update.processes
+        )
+        if victim is None:
+            return
+        eligible = [
+            rec for rec in self.table.free_hosts()
+            if rec.host != source and self._dest_ok(rec)
+        ]
+        chosen = self.strategy(eligible, rng=None)
+        self.decisions.append(
+            LiveDecision(at=now, source=source,
+                         dest=chosen.host if chosen else None,
+                         pid=victim.pid)
+        )
+        if chosen is None:
+            return
+        self._last_command[source] = now
+        self.endpoint.send_message(
+            source,
+            MigrateCommand(host=source, pid=victim.pid,
+                           dest=chosen.host,
+                           reason=f"{source} overloaded"),
+            timestamp=time.time(),
+        )
+
+    def _dest_ok(self, record) -> bool:
+        policy = self.policy
+        if policy is None or not getattr(policy, "enabled", True):
+            return True
+        return all(
+            cond.holds(record.metrics)
+            for cond in getattr(policy, "dest_conditions", ())
+        )

@@ -1,0 +1,66 @@
+"""Checkpointable task types for live mode.
+
+A live task is a *named, importable* step function over a picklable
+state dict — migration ships the type name plus the pickled state, and
+the destination resolves the name back to code (HPCM shipped binaries
+per architecture; shipping code identity + data is the Python analog).
+
+``step(state) -> bool`` performs one chunk of real computation and
+returns True while unfinished.  Between steps (poll-points) the state
+dict is the complete truth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+
+def sqrt_sum_step(state: dict) -> bool:
+    """Σ √i in chunks — compute-bound, trivially verifiable."""
+    i = state["i"]
+    end = min(i + state["chunk"], state["n"])
+    acc = state["acc"]
+    while i < end:
+        acc += math.sqrt(i)
+        i += 1
+    state["i"] = i
+    state["acc"] = acc
+    return i < state["n"]
+
+
+def sqrt_sum_state(n: int = 2_000_000, chunk: int = 100_000) -> dict:
+    return {"i": 0, "n": int(n), "chunk": int(chunk), "acc": 0.0}
+
+
+def sqrt_sum_expected(n: int) -> float:
+    return sum(math.sqrt(i) for i in range(n))
+
+
+def collatz_census_step(state: dict) -> bool:
+    """Longest Collatz chain below n — another compute-bound task."""
+    i = state["i"]
+    end = min(i + state["chunk"], state["n"])
+    best, best_n = state["best"], state["best_n"]
+    while i < end:
+        length, x = 0, i
+        while x > 1:
+            x = x // 2 if x % 2 == 0 else 3 * x + 1
+            length += 1
+        if length > best:
+            best, best_n = length, i
+        i += 1
+    state.update(i=i, best=best, best_n=best_n)
+    return i < state["n"]
+
+
+def collatz_census_state(n: int = 50_000, chunk: int = 5_000) -> dict:
+    return {"i": 1, "n": int(n), "chunk": int(chunk),
+            "best": 0, "best_n": 1}
+
+
+#: The live runtime resolves task types through this registry.
+TASK_TYPES: Dict[str, Callable[[dict], bool]] = {
+    "sqrt_sum": sqrt_sum_step,
+    "collatz_census": collatz_census_step,
+}

@@ -1,0 +1,148 @@
+"""Real TCP transport for live mode.
+
+The same XML messages as the simulation (`repro.protocol.messages`),
+framed over genuine localhost sockets: 1-byte frame kind + 4-byte
+big-endian length + payload.  Kind ``M`` carries a protocol message;
+kind ``S`` carries a migration state blob (JSON header + pickle).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import struct
+import threading
+from typing import Any, Optional, Tuple
+
+from ..protocol import messages
+
+FRAME_MESSAGE = b"M"
+FRAME_STATE = b"S"
+
+_HEADER = struct.Struct(">cI")
+
+
+def _send_frame(sock: socket.socket, kind: bytes, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(kind, len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+def _recv_frame(sock: socket.socket) -> Optional[Tuple[bytes, bytes]]:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    kind, length = _HEADER.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return kind, payload
+
+
+class LiveEndpoint:
+    """A listening TCP endpoint with a decoded-message inbox.
+
+    Incoming protocol messages arrive as ``("msg", (message, sender,
+    timestamp))`` items; state blobs as ``("state", (header_dict,
+    blob_bytes))``.
+    """
+
+    def __init__(self, name: str, host: str = "127.0.0.1", port: int = 0):
+        self.name = name
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.host, self.port = self._listener.getsockname()
+        self.inbox: "queue.Queue" = queue.Queue()
+        self._closing = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"endpoint:{name}", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- receiving ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                frame = _recv_frame(conn)
+                if frame is None:
+                    return
+                kind, payload = frame
+                if kind == FRAME_MESSAGE:
+                    try:
+                        decoded = messages.decode(payload)
+                    except messages.ProtocolError:
+                        continue  # drop malformed traffic
+                    self.inbox.put(("msg", decoded))
+                elif kind == FRAME_STATE:
+                    header_len = struct.unpack(">I", payload[:4])[0]
+                    header = json.loads(
+                        payload[4:4 + header_len].decode("utf-8")
+                    )
+                    blob = payload[4 + header_len:]
+                    self.inbox.put(("state", (header, blob)))
+
+    def recv(self, timeout: Optional[float] = None):
+        """Next inbox item or None on timeout."""
+        try:
+            return self.inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    # -- sending --------------------------------------------------------
+    @staticmethod
+    def _parse(address: str) -> Tuple[str, int]:
+        host, _, port = address.rpartition(":")
+        return host, int(port)
+
+    def send_message(self, address: str, msg: Any, timestamp: float) -> bool:
+        """Fire-and-forget protocol message; False if unreachable."""
+        data = messages.encode(msg, sender=self.address,
+                               timestamp=timestamp)
+        return self._send(address, FRAME_MESSAGE, data)
+
+    def send_state(self, address: str, header: dict, blob: bytes) -> bool:
+        """Ship a migration state blob."""
+        head = json.dumps(header).encode("utf-8")
+        payload = struct.pack(">I", len(head)) + head + blob
+        return self._send(address, FRAME_STATE, payload)
+
+    def _send(self, address: str, kind: bytes, payload: bytes) -> bool:
+        try:
+            with socket.create_connection(self._parse(address),
+                                          timeout=5.0) as sock:
+                _send_frame(sock, kind, payload)
+            return True
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass

@@ -1,0 +1,20 @@
+"""Measurement: time series, host recorders, plain-text reports."""
+
+from .recorder import (
+    ClusterRecorder,
+    DEFAULT_RECORD_INTERVAL,
+    HostRecorder,
+    RECORDED_METRICS,
+)
+from .report import ascii_plot, format_table
+from .timeseries import TimeSeries
+
+__all__ = [
+    "ClusterRecorder",
+    "DEFAULT_RECORD_INTERVAL",
+    "HostRecorder",
+    "RECORDED_METRICS",
+    "TimeSeries",
+    "ascii_plot",
+    "format_table",
+]

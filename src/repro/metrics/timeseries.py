@@ -1,0 +1,79 @@
+"""Time-series containers for experiment measurements."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only (time, value) series with summary statistics."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._times and t < self._times[-1]:
+            raise ValueError("timestamps must be non-decreasing")
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    # -- views ------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __bool__(self) -> bool:
+        return bool(self._times)
+
+    # -- statistics ---------------------------------------------------------
+    def mean(self, t_min: float = -np.inf, t_max: float = np.inf) -> float:
+        sel = self._select(t_min, t_max)
+        if not sel.size:
+            raise ValueError(f"no samples in [{t_min}, {t_max}]")
+        return float(sel.mean())
+
+    def max(self, t_min: float = -np.inf, t_max: float = np.inf) -> float:
+        sel = self._select(t_min, t_max)
+        if not sel.size:
+            raise ValueError(f"no samples in [{t_min}, {t_max}]")
+        return float(sel.max())
+
+    def min(self, t_min: float = -np.inf, t_max: float = np.inf) -> float:
+        sel = self._select(t_min, t_max)
+        if not sel.size:
+            raise ValueError(f"no samples in [{t_min}, {t_max}]")
+        return float(sel.min())
+
+    def _select(self, t_min: float, t_max: float) -> np.ndarray:
+        t = self.times
+        mask = (t >= t_min) & (t <= t_max)
+        return self.values[mask]
+
+    def value_at(self, t: float) -> Optional[float]:
+        """Last sample at or before ``t`` (step interpolation)."""
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        if idx < 0:
+            return None
+        return self._values[idx]
+
+    def overhead_vs(self, baseline: "TimeSeries") -> float:
+        """Relative mean increase over a baseline series (Figure 5's
+        'overhead is 3.9%' metric)."""
+        base = baseline.mean()
+        if base == 0:
+            raise ValueError("baseline mean is zero")
+        return (self.mean() - base) / base

@@ -1,0 +1,94 @@
+"""The script engine: rule scripts → sensor readings.
+
+The paper gathers dynamic information "through the use of scripts (such
+as UNIX shell-scripts ...)" using ``vmstat``, ``prstat``, ``ps`` etc.
+Rule files therefore name *scripts*; this engine maps those names onto
+the simulated host's sensors.  Each monitoring cycle calls
+:meth:`refresh` once so all rules of that cycle see one coherent
+snapshot (and windowed counters difference over exactly one interval).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from .sensors import SensorSuite
+
+
+class SimScriptEngine:
+    """Script-name → value resolver over a sensor snapshot."""
+
+    def __init__(self, host: Any, per_script_cost: float = 0.0):
+        self.host = host
+        self.sensors = SensorSuite(host)
+        self.snapshot: Dict[str, float] = {}
+        #: CPU-seconds a single script execution costs (the rescheduler
+        #: overhead of Figure 5 comes from these).
+        self.per_script_cost = per_script_cost
+        self._handlers: Dict[str, Callable[[str], float]] = {
+            "processorStatus.sh": self._processor_status,
+            "loadAvg.sh": self._load_avg,
+            "procCount.sh": self._proc_count,
+            "ntStatIpv4.sh": self._ntstat,
+            "netFlow.sh": self._net_flow,
+            "memInfo.sh": self._mem_info,
+            "diskUsage.sh": self._disk_usage,
+        }
+
+    def refresh(self) -> Dict[str, float]:
+        """Take a new coherent snapshot; returns it."""
+        self.snapshot = self.sensors.sample()
+        return self.snapshot
+
+    def register(self, script: str, handler: Callable[[str], float]) -> None:
+        """Plug in an extra script (the engine is configurable, §4)."""
+        self._handlers[script] = handler
+
+    def scripts(self) -> list:
+        return sorted(self._handlers)
+
+    def __call__(self, script: str, param: str = "") -> float:
+        """Fire one script; raises KeyError for unknown scripts."""
+        handler = self._handlers[script]  # KeyError intended
+        return float(handler(param))
+
+    # -- handlers -----------------------------------------------------------
+    def _snap(self) -> Dict[str, float]:
+        if not self.snapshot:
+            self.refresh()
+        return self.snapshot
+
+    def _processor_status(self, param: str) -> float:
+        """vmstat-style processor idle time percentage."""
+        return self._snap()["cpu_idle_pct"]
+
+    def _load_avg(self, param: str) -> float:
+        """uptime-style load average; param selects the window."""
+        key = {"": "loadavg1", "1": "loadavg1", "5": "loadavg5",
+               "15": "loadavg15"}.get(param.strip())
+        if key is None:
+            raise ValueError(f"loadAvg.sh: unknown window {param!r}")
+        return self._snap()[key]
+
+    def _proc_count(self, param: str) -> float:
+        return self._snap()["proc_count"]
+
+    def _ntstat(self, param: str) -> float:
+        """netstat-style socket count in the given state."""
+        state = param.strip() or "ESTABLISHED"
+        if state.upper() == "ESTABLISHED":
+            return self._snap()["socket_count"]
+        return self.sensors.socket_count(state)
+
+    def _net_flow(self, param: str) -> float:
+        """Aggregate in+out flow in MB/s."""
+        return self._snap()["comm_mbs"]
+
+    def _mem_info(self, param: str) -> float:
+        key = "vmem_avail_pct" if param.strip() == "virtual" else (
+            "mem_avail_pct"
+        )
+        return self._snap()[key]
+
+    def _disk_usage(self, param: str) -> float:
+        return self._snap()["disk_avail_bytes"]

@@ -1,0 +1,108 @@
+"""Migration-victim selection.
+
+Paper §4: "we selected a migration-enabled process based on the start
+time of the process and the application description information
+provided in the application schema ... The registry/scheduler tends to
+migrate a process that has the latest completing time to reduce the
+possibility of migrating multiple processes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class ProcessInfo:
+    """What a monitor reports about one migration-enabled process."""
+
+    pid: int
+    name: str
+    start_time: float
+    est_completion: float
+    #: Schema data-locality weight: heavy local I/O discourages moving.
+    data_locality: float = 0.0
+    #: Resource requirements from the application schema: a destination
+    #: must "own all the resources required" (paper §3.2).
+    min_memory_bytes: int = 0
+    min_disk_bytes: int = 0
+    min_cpu_speed: float = 0.0
+    features: tuple = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "pid": self.pid,
+            "name": self.name,
+            "start_time": self.start_time,
+            "est_completion": self.est_completion,
+            "data_locality": self.data_locality,
+            "min_memory_bytes": self.min_memory_bytes,
+            "min_disk_bytes": self.min_disk_bytes,
+            "min_cpu_speed": self.min_cpu_speed,
+            "features": ",".join(self.features),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcessInfo":
+        raw_features = data.get("features", ())
+        if isinstance(raw_features, str):
+            features = tuple(f for f in raw_features.split(",") if f)
+        else:
+            features = tuple(raw_features)
+        return cls(
+            pid=int(data["pid"]),
+            name=str(data["name"]),
+            start_time=float(data["start_time"]),
+            est_completion=float(data["est_completion"]),
+            data_locality=float(data.get("data_locality", 0.0)),
+            min_memory_bytes=int(data.get("min_memory_bytes", 0)),
+            min_disk_bytes=int(data.get("min_disk_bytes", 0)),
+            min_cpu_speed=float(data.get("min_cpu_speed", 0.0)),
+            features=features,
+        )
+
+
+def select_victim(
+    processes: Iterable[ProcessInfo],
+    max_data_locality: float = 1.0,
+) -> Optional[ProcessInfo]:
+    """Pick the process with the latest estimated completion time.
+
+    Processes whose data-locality weight exceeds ``max_data_locality``
+    are skipped ("if a process involves a lot in a local data access,
+    the process is not to be migrated", §5.3).  Ties break toward the
+    earlier start time (longer-running first), then lowest pid, so the
+    choice is deterministic.
+    """
+    candidates = [
+        p for p in processes if p.data_locality <= max_data_locality
+    ]
+    if not candidates:
+        return None
+    return max(
+        candidates,
+        key=lambda p: (p.est_completion, -p.start_time, -p.pid),
+    )
+
+
+def collect_process_info(host) -> List[ProcessInfo]:
+    """Build the report list from a host's process table."""
+    infos = []
+    for entry in host.procs.migratable():
+        runtime = entry.hpcm_runtime
+        req = runtime.schema.requirements
+        infos.append(
+            ProcessInfo(
+                pid=entry.pid,
+                name=entry.name,
+                start_time=entry.start_time,
+                est_completion=runtime.estimated_completion(),
+                data_locality=runtime.schema.data_locality,
+                min_memory_bytes=req.min_memory_bytes,
+                min_disk_bytes=req.min_disk_bytes,
+                min_cpu_speed=req.min_cpu_speed,
+                features=tuple(req.features),
+            )
+        )
+    return infos

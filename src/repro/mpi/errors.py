@@ -1,0 +1,19 @@
+"""MPI error types."""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base class for simulated-MPI failures."""
+
+
+class RankError(MpiError):
+    """A rank outside the communicator's group was addressed."""
+
+
+class DeadProcessError(MpiError):
+    """Communication with a process that has exited."""
+
+
+class SpawnError(MpiError):
+    """Dynamic process creation failed (e.g. target host down)."""

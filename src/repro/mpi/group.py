@@ -1,0 +1,92 @@
+"""Communicator group: the shared rank → process mapping."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import RankError
+from .process import MpiProcess
+
+
+class CommGroup:
+    """Shared state of one communicator.
+
+    Each rank holds a :class:`~repro.mpi.comm.Comm` *handle* onto this
+    group.  Migration calls :meth:`replace` to swap the process behind a
+    rank — handles and in-flight deliveries resolve ranks at use time,
+    so they follow the replacement automatically (the paper's dynamic
+    communicator management over MPI-2).
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        runtime: Any,
+        procs: list,
+        label: str = "",
+        internal: bool = False,
+    ):
+        CommGroup._next_id += 1
+        self.id = CommGroup._next_id
+        self.runtime = runtime
+        self.procs: list[MpiProcess] = list(procs)
+        self.label = label or f"comm{self.id}"
+        #: Internal groups (COMM_SELF, migration intercomm bridges) are
+        #: skipped when migration re-points a rank at a new process.
+        self.internal = internal
+        #: Per-process collective sequence counters (part of a process's
+        #: execution state; transferred on migration).
+        self._coll_seq: dict[int, int] = {}
+        for proc in self.procs:
+            proc.groups.append(self)
+
+    @property
+    def size(self) -> int:
+        return len(self.procs)
+
+    def rank_of(self, proc: MpiProcess) -> int:
+        try:
+            return self.procs.index(proc)
+        except ValueError:
+            raise RankError(
+                f"{proc!r} is not a member of {self.label}"
+            ) from None
+
+    def proc_at(self, rank: int) -> MpiProcess:
+        if not 0 <= rank < len(self.procs):
+            raise RankError(
+                f"rank {rank} out of range for {self.label} "
+                f"(size {len(self.procs)})"
+            )
+        return self.procs[rank]
+
+    def contains(self, proc: MpiProcess) -> bool:
+        return proc in self.procs
+
+    def next_coll_seq(self, proc: MpiProcess) -> int:
+        """Next collective sequence number for ``proc`` in this group."""
+        seq = self._coll_seq.get(proc.uid, 0)
+        self._coll_seq[proc.uid] = seq + 1
+        return seq
+
+    def replace(self, old: MpiProcess, new: MpiProcess) -> int:
+        """Swap the process behind a rank (migration support).
+
+        Transfers the collective sequence counter; the caller moves the
+        mailbox via :meth:`MpiProcess.adopt_state_from`.  Returns the
+        rank that was replaced.
+        """
+        rank = self.rank_of(old)
+        self.procs[rank] = new
+        if self not in new.groups:
+            new.groups.append(self)
+        if self in old.groups:
+            old.groups.remove(self)
+        if old.uid in self._coll_seq:
+            self._coll_seq[new.uid] = self._coll_seq.pop(old.uid)
+        return rank
+
+    def __repr__(self) -> str:
+        members = ",".join(p.host.name for p in self.procs)
+        return f"<CommGroup {self.label} [{members}]>"

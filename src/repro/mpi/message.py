@@ -1,0 +1,33 @@
+"""Message envelope and per-process mailbox."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """One delivered message sitting in a mailbox."""
+
+    comm_id: int
+    src_rank: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+    def matches(self, comm_id: int, source: int, tag: int) -> bool:
+        """Does this message satisfy a receive posted with these args?"""
+        if self.comm_id != comm_id:
+            return False
+        if source != ANY_SOURCE and self.src_rank != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True

@@ -1,0 +1,33 @@
+"""Payload sizing for simulated transfers.
+
+Message payloads are real Python objects; their on-wire size is the
+*actual* serialized length (numpy buffer size or pickle length), so the
+simulated network moves genuinely representative byte counts — the same
+trick mpi4py plays with pickle for generic objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+#: Fixed per-message envelope (headers, tag, matching info).
+ENVELOPE_BYTES = 64
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Serialized size of ``obj`` in bytes (without envelope)."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def message_nbytes(obj: Any) -> int:
+    """On-wire size of a message carrying ``obj``."""
+    return ENVELOPE_BYTES + payload_nbytes(obj)

@@ -1,0 +1,32 @@
+"""Custom XML-over-TCP protocol between rescheduler entities (§3.3)."""
+
+from .messages import (
+    Ack,
+    CandidateReply,
+    CandidateRequest,
+    MESSAGE_TYPES,
+    MigrateCommand,
+    ProtocolError,
+    Register,
+    StatusUpdate,
+    Unregister,
+    decode,
+    encode,
+)
+from .transport import Endpoint, EndpointRegistry
+
+__all__ = [
+    "Ack",
+    "CandidateReply",
+    "CandidateRequest",
+    "Endpoint",
+    "EndpointRegistry",
+    "MESSAGE_TYPES",
+    "MigrateCommand",
+    "ProtocolError",
+    "Register",
+    "StatusUpdate",
+    "Unregister",
+    "decode",
+    "encode",
+]

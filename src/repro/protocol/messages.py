@@ -1,0 +1,328 @@
+"""The custom XML message protocol (paper §3.3).
+
+"We combine a custom XML based protocol with TCP/IP sockets to form the
+communication subsystem of the rescheduler."  Every message type
+round-trips through real XML (plain ASCII, transport-independent); the
+encoded byte length is what the simulated network carries, so protocol
+overhead measurements (Figure 6) reflect genuine message sizes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rules.states import SystemState
+
+
+class ProtocolError(ValueError):
+    """Malformed message."""
+
+
+def _metrics_to_element(metrics: Dict[str, float]) -> ET.Element:
+    elem = ET.Element("metrics")
+    for key in sorted(metrics):
+        m = ET.SubElement(elem, "m", name=key)
+        m.text = repr(float(metrics[key]))
+    return elem
+
+
+def _metrics_from_element(elem: Optional[ET.Element]) -> Dict[str, float]:
+    if elem is None:
+        return {}
+    return {m.get("name"): float(m.text) for m in elem.findall("m")}
+
+
+@dataclass(frozen=True)
+class Register:
+    """One-time registration of a host's static information."""
+
+    host: str
+    static_info: Dict[str, object] = field(default_factory=dict)
+
+    TYPE = "register"
+
+    def body(self) -> ET.Element:
+        elem = ET.Element("static")
+        for key in sorted(self.static_info):
+            item = ET.SubElement(elem, "i", name=key)
+            item.text = str(self.static_info[key])
+        return elem
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "Register":
+        static = elem.find("static")
+        info: Dict[str, object] = {}
+        if static is not None:
+            info = {i.get("name"): i.text for i in static.findall("i")}
+        return cls(host=host, static_info=info)
+
+
+@dataclass(frozen=True)
+class StatusUpdate:
+    """Periodic soft-state refresh: state + metrics + process list."""
+
+    host: str
+    state: SystemState
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Migration-enabled processes (ProcessInfo.as_dict entries).
+    processes: List[dict] = field(default_factory=list)
+
+    TYPE = "status"
+
+    def body(self) -> ET.Element:
+        elem = ET.Element("status", state=self.state.name.lower())
+        elem.append(_metrics_to_element(self.metrics))
+        procs = ET.SubElement(elem, "processes")
+        for proc in self.processes:
+            features = proc.get("features", ())
+            if not isinstance(features, str):
+                features = ",".join(features)
+            ET.SubElement(
+                procs,
+                "p",
+                pid=str(proc["pid"]),
+                name=str(proc["name"]),
+                start=repr(float(proc["start_time"])),
+                eta=repr(float(proc["est_completion"])),
+                locality=repr(float(proc.get("data_locality", 0.0))),
+                minMem=str(int(proc.get("min_memory_bytes", 0))),
+                minDisk=str(int(proc.get("min_disk_bytes", 0))),
+                minCpu=repr(float(proc.get("min_cpu_speed", 0.0))),
+                features=features,
+            )
+        return elem
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "StatusUpdate":
+        status = elem.find("status")
+        if status is None:
+            raise ProtocolError("status message without <status> body")
+        procs = []
+        procs_elem = status.find("processes")
+        if procs_elem is not None:
+            for p in procs_elem.findall("p"):
+                procs.append({
+                    "pid": int(p.get("pid")),
+                    "name": p.get("name"),
+                    "start_time": float(p.get("start")),
+                    "est_completion": float(p.get("eta")),
+                    "data_locality": float(p.get("locality", "0")),
+                    "min_memory_bytes": int(p.get("minMem", "0")),
+                    "min_disk_bytes": int(p.get("minDisk", "0")),
+                    "min_cpu_speed": float(p.get("minCpu", "0")),
+                    "features": p.get("features", ""),
+                })
+        return cls(
+            host=host,
+            state=SystemState[status.get("state", "free").upper()],
+            metrics=_metrics_from_element(status.find("metrics")),
+            processes=procs,
+        )
+
+
+@dataclass(frozen=True)
+class Unregister:
+    """Clean departure of a host."""
+
+    host: str
+
+    TYPE = "unregister"
+
+    def body(self) -> ET.Element:
+        return ET.Element("bye")
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "Unregister":
+        return cls(host=host)
+
+
+@dataclass(frozen=True)
+class CandidateRequest:
+    """Ask (a parent or sibling registry) for a migration destination.
+
+    ``req_id`` correlates the eventual reply; ``hops`` bounds
+    escalation through the registry hierarchy; ``exclude`` names hosts
+    that must not be offered (e.g. the overloaded source).
+    """
+
+    host: str
+    app_name: str = ""
+    requirements_xml: str = ""
+    req_id: str = ""
+    hops: int = 0
+    exclude: tuple = ()
+
+    TYPE = "candidate-request"
+
+    def body(self) -> ET.Element:
+        elem = ET.Element(
+            "want", app=self.app_name, reqId=self.req_id,
+            hops=str(self.hops), exclude=",".join(self.exclude),
+        )
+        if self.requirements_xml:
+            elem.append(ET.fromstring(self.requirements_xml))
+        return elem
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "CandidateRequest":
+        want = elem.find("want")
+        if want is None:
+            raise ProtocolError("candidate-request without <want> body")
+        req = ""
+        if len(want):
+            req = ET.tostring(want[0], encoding="unicode")
+        exclude = tuple(
+            name for name in want.get("exclude", "").split(",") if name
+        )
+        return cls(
+            host=host,
+            app_name=want.get("app", ""),
+            requirements_xml=req,
+            req_id=want.get("reqId", ""),
+            hops=int(want.get("hops", "0")),
+            exclude=exclude,
+        )
+
+
+@dataclass(frozen=True)
+class CandidateReply:
+    """A recommended destination host (or none)."""
+
+    host: str
+    dest: Optional[str] = None
+    req_id: str = ""
+
+    TYPE = "candidate-reply"
+
+    def body(self) -> ET.Element:
+        elem = ET.Element("candidate", reqId=self.req_id)
+        if self.dest:
+            elem.set("dest", self.dest)
+        return elem
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "CandidateReply":
+        cand = elem.find("candidate")
+        if cand is None:
+            raise ProtocolError("candidate-reply without <candidate> body")
+        return cls(host=host, dest=cand.get("dest"),
+                   req_id=cand.get("reqId", ""))
+
+
+@dataclass(frozen=True)
+class MigrateCommand:
+    """Registry → commander: move ``pid`` to ``dest``."""
+
+    host: str  # the source host (the commander's host)
+    pid: int
+    dest: str
+    reason: str = ""
+    decision_seconds: float = 0.0
+
+    TYPE = "migrate"
+
+    def body(self) -> ET.Element:
+        return ET.Element(
+            "migrate",
+            pid=str(self.pid),
+            dest=self.dest,
+            reason=self.reason,
+            decision=repr(self.decision_seconds),
+        )
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "MigrateCommand":
+        mig = elem.find("migrate")
+        if mig is None:
+            raise ProtocolError("migrate message without <migrate> body")
+        return cls(
+            host=host,
+            pid=int(mig.get("pid")),
+            dest=mig.get("dest"),
+            reason=mig.get("reason", ""),
+            decision_seconds=float(mig.get("decision", "0")),
+        )
+
+
+@dataclass(frozen=True)
+class StatusQuery:
+    """Registry → monitor: request an immediate status report.
+
+    The *pull* model of §3.2: "the registry/scheduler can decide when
+    it needs the information and status of each host.  It then queries
+    the current information to make more optimized decisions.  But,
+    this also leads to the registry/scheduler having to make a query at
+    runtime when a decision is expected, thus slowing down the
+    process."
+    """
+
+    host: str  # the queried host
+
+    TYPE = "status-query"
+
+    def body(self) -> ET.Element:
+        return ET.Element("query")
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "StatusQuery":
+        return cls(host=host)
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Generic acknowledgement."""
+
+    host: str
+    ok: bool = True
+    detail: str = ""
+
+    TYPE = "ack"
+
+    def body(self) -> ET.Element:
+        return ET.Element("ack", ok=str(self.ok).lower(),
+                          detail=self.detail)
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "Ack":
+        ack = elem.find("ack")
+        return cls(
+            host=host,
+            ok=(ack.get("ok", "true") == "true") if ack is not None else True,
+            detail=ack.get("detail", "") if ack is not None else "",
+        )
+
+
+#: Registry of message classes by wire type.
+MESSAGE_TYPES = {
+    cls.TYPE: cls
+    for cls in (Register, StatusUpdate, Unregister, CandidateRequest,
+                CandidateReply, MigrateCommand, StatusQuery, Ack)
+}
+
+
+def encode(msg, sender: str, timestamp: float) -> bytes:
+    """Serialize a message to wire bytes (ASCII XML)."""
+    root = ET.Element(
+        "msg", type=msg.TYPE, sender=sender, host=msg.host,
+        ts=repr(float(timestamp)),
+    )
+    root.append(msg.body())
+    return ET.tostring(root, encoding="utf-8")
+
+
+def decode(data: bytes):
+    """Parse wire bytes back into (message, sender, timestamp)."""
+    try:
+        root = ET.fromstring(data)
+    except ET.ParseError as exc:
+        raise ProtocolError(f"bad XML: {exc}") from exc
+    if root.tag != "msg":
+        raise ProtocolError(f"unexpected root {root.tag!r}")
+    mtype = root.get("type", "")
+    cls = MESSAGE_TYPES.get(mtype)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {mtype!r}")
+    msg = cls.from_body(root.get("host", ""), root)
+    return msg, root.get("sender", ""), float(root.get("ts", "0"))

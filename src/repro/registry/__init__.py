@@ -1,0 +1,23 @@
+"""Registry/scheduler: soft-state registration + migration decisions."""
+
+from .registry import (
+    DEFAULT_COMMAND_COOLDOWN,
+    DEFAULT_DECISION_COST,
+    Decision,
+    RegistryScheduler,
+)
+from .softstate import HostRecord, SoftStateTable
+from .strategies import STRATEGIES, best_fit, first_fit, random_fit
+
+__all__ = [
+    "DEFAULT_COMMAND_COOLDOWN",
+    "DEFAULT_DECISION_COST",
+    "Decision",
+    "HostRecord",
+    "RegistryScheduler",
+    "STRATEGIES",
+    "SoftStateTable",
+    "best_fit",
+    "first_fit",
+    "random_fit",
+]

@@ -1,0 +1,118 @@
+"""Soft-state host table (paper §3.2).
+
+"The registration of resources is based on a soft-state mechanism,
+wherein clients have to regularly update their presence and state
+information to the registry/scheduler through the *push* model,
+otherwise the registry/scheduler will consider them as *unavailable*."
+
+Records keep registration order, which is what makes "first fit"
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..rules.states import SystemState
+
+
+@dataclass
+class HostRecord:
+    """One registered host (or child registry, in a hierarchy)."""
+
+    host: str
+    registered_at: float
+    static_info: dict = field(default_factory=dict)
+    state: SystemState = SystemState.FREE
+    metrics: Dict[str, float] = field(default_factory=dict)
+    processes: List[dict] = field(default_factory=list)
+    last_update: float = 0.0
+    updates_received: int = 0
+
+
+class SoftStateTable:
+    """Lease-based registration table."""
+
+    def __init__(self, env: Any, lease: float = 35.0):
+        if lease <= 0:
+            raise ValueError("lease must be positive")
+        self.env = env
+        self.lease = float(lease)
+        self._records: Dict[str, HostRecord] = {}
+        self._order: List[str] = []
+
+    # -- mutation ---------------------------------------------------------
+    def register(self, host: str, static_info: dict) -> HostRecord:
+        """(Re-)register a host; keeps original order on re-register."""
+        record = self._records.get(host)
+        if record is None:
+            record = HostRecord(
+                host=host,
+                registered_at=self.env.now,
+                static_info=dict(static_info),
+                last_update=self.env.now,
+            )
+            self._records[host] = record
+            self._order.append(host)
+        else:
+            record.static_info = dict(static_info)
+            record.last_update = self.env.now
+        return record
+
+    def update(
+        self,
+        host: str,
+        state: SystemState,
+        metrics: Dict[str, float],
+        processes: Optional[List[dict]] = None,
+    ) -> HostRecord:
+        """Fold in a status push; implicitly registers unknown hosts."""
+        record = self._records.get(host)
+        if record is None:
+            record = self.register(host, {})
+        record.state = state
+        record.metrics = dict(metrics)
+        record.processes = list(processes or [])
+        record.last_update = self.env.now
+        record.updates_received += 1
+        return record
+
+    def unregister(self, host: str) -> None:
+        self._records.pop(host, None)
+        if host in self._order:
+            self._order.remove(host)
+
+    # -- queries --------------------------------------------------------
+    def effective_state(self, record: HostRecord) -> SystemState:
+        """The record's state, demoted to UNAVAILABLE on lease expiry."""
+        if self.env.now - record.last_update > self.lease:
+            return SystemState.UNAVAILABLE
+        return record.state
+
+    def get(self, host: str) -> Optional[HostRecord]:
+        return self._records.get(host)
+
+    def records(self) -> List[HostRecord]:
+        """All records in registration order (the first-fit order)."""
+        return [self._records[name] for name in self._order]
+
+    def available(self) -> List[HostRecord]:
+        """Records whose lease is current."""
+        return [
+            r for r in self.records()
+            if self.effective_state(r) is not SystemState.UNAVAILABLE
+        ]
+
+    def free_hosts(self) -> List[HostRecord]:
+        """Records currently in the FREE state (migration targets)."""
+        return [
+            r for r in self.records()
+            if self.effective_state(r) is SystemState.FREE
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._records

@@ -1,0 +1,47 @@
+"""Destination-selection strategies.
+
+The paper uses **first fit**: "From the machine list, the
+registry/scheduler chooses the first host, which is ready and owns all
+the resources required, as the migration destination host."  Best-fit
+and random are provided for the ablation study.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .softstate import HostRecord
+
+
+def first_fit(candidates: List[HostRecord],
+              rng: Any = None) -> Optional[HostRecord]:
+    """The paper's policy: first eligible host in registration order."""
+    return candidates[0] if candidates else None
+
+
+def best_fit(candidates: List[HostRecord],
+             rng: Any = None) -> Optional[HostRecord]:
+    """Least-loaded eligible host (1-minute load average)."""
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda r: (r.metrics.get("loadavg1", 0.0), r.host),
+    )
+
+
+def random_fit(candidates: List[HostRecord],
+               rng: Any = None) -> Optional[HostRecord]:
+    """Uniformly random eligible host (needs an rng)."""
+    if not candidates:
+        return None
+    if rng is None:
+        raise ValueError("random_fit requires an rng")
+    return candidates[int(rng.integers(0, len(candidates)))]
+
+
+STRATEGIES = {
+    "first_fit": first_fit,
+    "best_fit": best_fit,
+    "random_fit": random_fit,
+}

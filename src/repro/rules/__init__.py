@@ -1,0 +1,53 @@
+"""Rule-based decision mechanism (paper §4).
+
+Simple rules threshold one measurement; complex rules combine other
+rules through weighted sums and ``&``/``|``; rule files use the paper's
+``rl_*`` format verbatim.
+"""
+
+from .builtin import (
+    CMP_RULE,
+    LOAD_AVERAGE,
+    NTSTAT_IPV4,
+    PAPER_RULE_FILE,
+    PROC_COUNT,
+    PROCESSOR_STATUS,
+    paper_ruleset,
+)
+from .evaluator import RuleEvaluator, ScriptNotFound, classify
+from .expr import ExprError, parse_expression
+from .model import ComplexRule, RuleSet, SimpleRule
+from .parser import (
+    RuleParseError,
+    dump_rule,
+    dump_rule_file,
+    parse_rule_file,
+    parse_rules,
+)
+from .states import SystemState, combine_and, combine_or
+
+__all__ = [
+    "CMP_RULE",
+    "ComplexRule",
+    "ExprError",
+    "LOAD_AVERAGE",
+    "NTSTAT_IPV4",
+    "PAPER_RULE_FILE",
+    "PROC_COUNT",
+    "PROCESSOR_STATUS",
+    "RuleEvaluator",
+    "RuleParseError",
+    "RuleSet",
+    "ScriptNotFound",
+    "SimpleRule",
+    "SystemState",
+    "classify",
+    "combine_and",
+    "combine_or",
+    "dump_rule",
+    "dump_rule_file",
+    "paper_ruleset",
+    "parse_expression",
+    "parse_rule_file",
+    "parse_rules",
+]

@@ -1,0 +1,121 @@
+"""The paper's example rules, ready-made (Figures 3–4)."""
+
+from __future__ import annotations
+
+from .model import ComplexRule, RuleSet, SimpleRule
+
+#: Figure 3, Rule 1: processor idle time via vmstat.
+PROCESSOR_STATUS = SimpleRule(
+    number=1,
+    name="processorStatus",
+    script="processorStatus.sh",
+    operator="<",
+    busy=50.0,
+    overloaded=45.0,
+    description=(
+        "This rule determines the processor status i.e. the idle time."
+    ),
+)
+
+#: Figure 3, Rule 2: established IPv4 sockets via netstat.
+NTSTAT_IPV4 = SimpleRule(
+    number=2,
+    name="ntStatIpv4",
+    script="ntStatIpv4.sh",
+    operator=">",
+    busy=700.0,
+    overloaded=900.0,
+    description="This rule determines the number of sockets in a give state.",
+    param="ESTABLISHED",
+)
+
+#: Extra simple rules the complex example references.
+LOAD_AVERAGE = SimpleRule(
+    number=3,
+    name="loadAverage",
+    script="loadAvg.sh",
+    operator=">",
+    busy=1.0,
+    overloaded=2.0,
+    description="1-minute load average.",
+)
+
+PROC_COUNT = SimpleRule(
+    number=4,
+    name="procCount",
+    script="procCount.sh",
+    operator=">",
+    busy=100.0,
+    overloaded=150.0,
+    description="Number of active processes.",
+)
+
+#: Figure 4: the complex rule.
+CMP_RULE = ComplexRule(
+    number=5,
+    name="cmp_rule",
+    expression="( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2",
+    rule_numbers=(4, 1, 3, 2),
+    description="A Complex Rule.",
+)
+
+
+def paper_ruleset() -> RuleSet:
+    """All five example rules from the paper."""
+    ruleset = RuleSet()
+    for rule in (PROCESSOR_STATUS, NTSTAT_IPV4, LOAD_AVERAGE, PROC_COUNT,
+                 CMP_RULE):
+        ruleset.add(rule)
+    return ruleset
+
+
+#: The verbatim Figure 3 + Figure 4 file content, for parser round-trip
+#: tests and as user documentation of the format.
+PAPER_RULE_FILE = """\
+rl_number: 1
+rl_name: processorStatus
+rl_type: simple
+rl_script: processorStatus.sh
+rl_desc: This rule determines the processor status i.e. the idle time.
+rl_operator: <
+rl_param:
+rl_busy: 50
+rl_overLd: 45
+
+rl_number: 2
+rl_name: ntStatIpv4
+rl_type: simple
+rl_script: ntStatIpv4.sh
+rl_desc: This rule determines the number of sockets in a give state.
+rl_operator: >
+rl_param: ESTABLISHED
+rl_busy: 700
+rl_overLd: 900
+
+rl_number: 3
+rl_name: loadAverage
+rl_type: simple
+rl_script: loadAvg.sh
+rl_desc: 1-minute load average.
+rl_operator: >
+rl_param:
+rl_busy: 1
+rl_overLd: 2
+
+rl_number: 4
+rl_name: procCount
+rl_type: simple
+rl_script: procCount.sh
+rl_desc: Number of active processes.
+rl_operator: >
+rl_param:
+rl_busy: 100
+rl_overLd: 150
+
+rl_number: 5
+rl_name: cmp_rule
+rl_type: complex
+rl_desc: A Complex Rule.
+rl_ruleNo: 4 1 3 2
+rl_script: ( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2
+"""

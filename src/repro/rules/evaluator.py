@@ -1,0 +1,142 @@
+"""Rule evaluation against a script engine (paper Figure 2).
+
+The *rule-evaluator* fires each rule's script through a pluggable
+script engine (the simulated ``vmstat``/``netstat``/... — or, in live
+mode, real ``/proc`` readers), compares the value against the rule's
+thresholds, and combines complex rules through the expression AST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from . import expr as expr_mod
+from .model import ComplexRule, RuleSet, SimpleRule
+from .states import SystemState
+
+
+class ScriptNotFound(KeyError):
+    """A rule references a script the engine does not provide."""
+
+
+class RuleEvaluator:
+    """Evaluates a :class:`RuleSet` using a script engine.
+
+    ``script_engine(script_name, param) -> float`` returns the current
+    measurement for a rule.
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        script_engine: Callable[[str, str], float],
+        n_levels: int = 3,
+    ):
+        self.ruleset = ruleset
+        self.script_engine = script_engine
+        self.n_levels = n_levels
+        self._expr_cache: Dict[int, expr_mod.Node] = {}
+
+    # -- single rules ---------------------------------------------------
+    def evaluate_rule(
+        self, rule: Union[SimpleRule, ComplexRule, int],
+        _stack: Optional[frozenset] = None,
+    ) -> SystemState:
+        """Evaluate one rule (by object or number) to a state."""
+        if isinstance(rule, int):
+            rule = self.ruleset.get(rule)
+        stack = _stack or frozenset()
+        if rule.number in stack:
+            raise ValueError(
+                f"rule {rule.number} participates in a reference cycle"
+            )
+        if isinstance(rule, SimpleRule):
+            return self._evaluate_simple(rule)
+        return self._evaluate_complex(rule, stack | {rule.number})
+
+    def _evaluate_simple(self, rule: SimpleRule) -> SystemState:
+        try:
+            value = float(self.script_engine(rule.script, rule.param))
+        except KeyError as exc:
+            raise ScriptNotFound(rule.script) from exc
+        return classify(value, rule.operator, rule.busy, rule.overloaded)
+
+    def _evaluate_complex(
+        self, rule: ComplexRule, stack: frozenset
+    ) -> SystemState:
+        ast = self._expr_cache.get(rule.number)
+        if ast is None:
+            ast = expr_mod.parse_expression(rule.expression)
+            undeclared = ast.references() - set(rule.rule_numbers)
+            if rule.rule_numbers and undeclared:
+                raise ValueError(
+                    f"rule {rule.name!r} references {sorted(undeclared)} "
+                    f"not listed in rl_ruleNo"
+                )
+            self._expr_cache[rule.number] = ast
+
+        def resolve(number: int) -> SystemState:
+            return self.evaluate_rule(number, _stack=stack)
+
+        return expr_mod.evaluate(ast, resolve, n_levels=self.n_levels)
+
+    # -- whole-host state -------------------------------------------------
+    def evaluate_host_state(
+        self, root_rule: Optional[int] = None
+    ) -> SystemState:
+        """The host's state: a designated root rule, or the most severe
+        outcome across all top-level rules."""
+        if root_rule is not None:
+            return self.evaluate_rule(root_rule)
+        # Rules referenced by complex rules are sub-rules; top-level
+        # rules are the rest.
+        referenced: set = set()
+        for rule in self.ruleset:
+            if isinstance(rule, ComplexRule):
+                ast = expr_mod.parse_expression(rule.expression)
+                referenced |= ast.references()
+        states = [
+            self.evaluate_rule(rule)
+            for rule in self.ruleset
+            if rule.number not in referenced
+        ]
+        if not states:
+            return SystemState.FREE
+        return SystemState(max(int(s) for s in states))
+
+
+def classify(
+    value: float, operator: str, busy: float, overloaded: float
+) -> SystemState:
+    """Threshold semantics of a simple rule (paper §4, Rule 1 prose).
+
+    With ``<``: value below ``rl_overLd`` → overloaded, below
+    ``rl_busy`` → busy, else free (idle-time style).  With ``>`` the
+    comparisons invert (socket-count style).  ``<=``/``>=`` included
+    for completeness.
+    """
+    if operator == "<":
+        if value < overloaded:
+            return SystemState.OVERLOADED
+        if value < busy:
+            return SystemState.BUSY
+        return SystemState.FREE
+    if operator == "<=":
+        if value <= overloaded:
+            return SystemState.OVERLOADED
+        if value <= busy:
+            return SystemState.BUSY
+        return SystemState.FREE
+    if operator == ">":
+        if value > overloaded:
+            return SystemState.OVERLOADED
+        if value > busy:
+            return SystemState.BUSY
+        return SystemState.FREE
+    if operator == ">=":
+        if value >= overloaded:
+            return SystemState.OVERLOADED
+        if value >= busy:
+            return SystemState.BUSY
+        return SystemState.FREE
+    raise ValueError(f"unsupported operator {operator!r}")

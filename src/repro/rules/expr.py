@@ -1,0 +1,197 @@
+"""Expression grammar for complex rules.
+
+Grammar (whitespace-insensitive; ``r 4`` and ``r4`` both reference
+rule 4, as the paper's Figure 4 mixes the two)::
+
+    expression := operand (('&' | '|') operand)*      left-associative
+    operand    := '(' sum ')' | ref
+    sum        := product ('+' product)*
+    product    := [NUMBER '%' '*'] operand
+    ref        := 'r' NUMBER
+
+Evaluation maps every node to a *severity level* (free=0, busy=1,
+overloaded=2 in the default three-state lattice):
+
+* a weighted sum computes ``Σ wᵢ·levelᵢ`` and rounds to the nearest
+  level;
+* ``&`` takes the **least** severe side (both must agree to escalate —
+  §4's worked example);
+* ``|`` takes the **most** severe side.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Tuple, Union
+
+from .states import SystemState, combine_and, combine_or
+
+
+class ExprError(ValueError):
+    """Malformed complex-rule expression."""
+
+
+# ------------------------------------------------------------------ AST
+@dataclass(frozen=True)
+class RuleRef:
+    number: int
+
+    def references(self) -> set:
+        return {self.number}
+
+
+@dataclass(frozen=True)
+class WeightedSum:
+    #: (weight, node) pairs; weights are fractions (40% → 0.4) or 1.0.
+    terms: Tuple[Tuple[float, "Node"], ...]
+
+    def references(self) -> set:
+        refs: set = set()
+        for _, node in self.terms:
+            refs |= node.references()
+        return refs
+
+
+@dataclass(frozen=True)
+class Combine:
+    op: str  # '&' or '|'
+    left: "Node"
+    right: "Node"
+
+    def references(self) -> set:
+        return self.left.references() | self.right.references()
+
+
+Node = Union[RuleRef, WeightedSum, Combine]
+
+
+# ------------------------------------------------------------ tokenizer
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ref>[rR]\s*\d+)|(?P<num>\d+(?:\.\d+)?)|(?P<sym>[%*+&|()]))"
+)
+
+
+def tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise ExprError(f"unexpected character at {text[pos:]!r}")
+        if match.group("ref"):
+            tokens.append(("ref", match.group("ref").replace(" ", "")[1:]))
+        elif match.group("num"):
+            tokens.append(("num", match.group("num")))
+        else:
+            tokens.append(("sym", match.group("sym")))
+        pos = match.end()
+    return tokens
+
+
+# --------------------------------------------------------------- parser
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self):
+        tok = self.peek()
+        if tok is None:
+            raise ExprError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect_sym(self, sym: str):
+        tok = self.take()
+        if tok != ("sym", sym):
+            raise ExprError(f"expected {sym!r}, got {tok!r}")
+
+    # expression := sum (('&'|'|') sum)*     (left-associative)
+    def expression(self) -> Node:
+        node = self.sum()
+        while self.peek() in (("sym", "&"), ("sym", "|")):
+            _, op = self.take()
+            right = self.sum()
+            node = Combine(op=op, left=node, right=right)
+        return node
+
+    # sum := product ('+' product)*          (binds tighter than &/|)
+    def sum(self) -> Node:
+        terms = [self.product()]
+        while self.peek() == ("sym", "+"):
+            self.take()
+            terms.append(self.product())
+        if len(terms) == 1 and terms[0][0] == 1.0:
+            return terms[0][1]  # a bare operand, not really a sum
+        return WeightedSum(terms=tuple(terms))
+
+    # product := [NUMBER '%' '*'] atom
+    def product(self) -> Tuple[float, Node]:
+        tok = self.peek()
+        if tok is not None and tok[0] == "num":
+            self.take()
+            weight = float(tok[1])
+            self.expect_sym("%")
+            self.expect_sym("*")
+            return (weight / 100.0, self.atom())
+        return (1.0, self.atom())
+
+    # atom := '(' expression ')' | ref
+    def atom(self) -> Node:
+        tok = self.peek()
+        if tok == ("sym", "("):
+            self.take()
+            node = self.expression()
+            self.expect_sym(")")
+            return node
+        if tok is not None and tok[0] == "ref":
+            self.take()
+            return RuleRef(int(tok[1]))
+        raise ExprError(f"expected '(' or rule reference, got {tok!r}")
+
+
+def parse_expression(text: str) -> Node:
+    """Parse a complex-rule expression into an AST."""
+    parser = _Parser(tokenize(text))
+    node = parser.expression()
+    if parser.peek() is not None:
+        raise ExprError(f"trailing tokens: {parser.tokens[parser.pos:]!r}")
+    return node
+
+
+# ------------------------------------------------------------ evaluator
+def evaluate(
+    node: Node,
+    resolve: Callable[[int], SystemState],
+    n_levels: int = 3,
+) -> SystemState:
+    """Evaluate an AST given a resolver from rule number → state."""
+    level = _level(node, resolve)
+    rounded = int(level + 0.5)
+    rounded = max(0, min(rounded, n_levels - 1))
+    return SystemState.from_level(rounded, n_levels=n_levels)
+
+
+def _level(node: Node, resolve: Callable[[int], SystemState]) -> float:
+    if isinstance(node, RuleRef):
+        return float(int(resolve(node.number)))
+    if isinstance(node, WeightedSum):
+        return sum(w * _level(child, resolve) for w, child in node.terms)
+    if isinstance(node, Combine):
+        left = _round_state(_level(node.left, resolve))
+        right = _round_state(_level(node.right, resolve))
+        if node.op == "&":
+            return float(int(combine_and(left, right)))
+        return float(int(combine_or(left, right)))
+    raise TypeError(f"unknown node {node!r}")  # pragma: no cover
+
+
+def _round_state(level: float) -> SystemState:
+    return SystemState(max(0, min(int(level + 0.5), 2)))

@@ -1,0 +1,108 @@
+"""Rule objects (paper §4, Figures 3–4).
+
+A *simple rule* names a script that yields one number, a comparison
+operator, and the thresholds for the ``busy`` and ``overloaded``
+states.  A *complex rule* combines other rules through an expression
+(weighted sums plus ``&``/``|``).  A *policy* is a group of rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+_VALID_OPERATORS = ("<", ">", "<=", ">=")
+
+
+@dataclass(frozen=True)
+class SimpleRule:
+    """One measurable quantity with busy/overloaded thresholds.
+
+    Field names mirror the paper's ``rl_*`` keys.
+    """
+
+    number: int
+    name: str
+    script: str
+    operator: str
+    busy: float
+    overloaded: float
+    description: str = ""
+    param: str = ""
+
+    def __post_init__(self):
+        if self.operator not in _VALID_OPERATORS:
+            raise ValueError(
+                f"rule {self.name!r}: unsupported operator "
+                f"{self.operator!r} (allowed: {_VALID_OPERATORS})"
+            )
+        # Threshold ordering sanity: for '<' style rules the overloaded
+        # cutoff must not exceed the busy cutoff, and vice versa.
+        if self.operator.startswith("<") and self.overloaded > self.busy:
+            raise ValueError(
+                f"rule {self.name!r}: with '<', rl_overLd must be <= rl_busy"
+            )
+        if self.operator.startswith(">") and self.overloaded < self.busy:
+            raise ValueError(
+                f"rule {self.name!r}: with '>', rl_overLd must be >= rl_busy"
+            )
+
+    @property
+    def rule_type(self) -> str:
+        return "simple"
+
+
+@dataclass(frozen=True)
+class ComplexRule:
+    """Combination of other rules via an expression.
+
+    ``expression`` uses ``rN`` references, percentage-weighted sums and
+    the ``&``/``|`` combinators, e.g.
+    ``( 40% * r4 + 30% * r1 + 30% * r3 ) & r2`` (Figure 4).
+    ``rule_numbers`` lists the referenced rules in firing order
+    (``rl_ruleNo``).
+    """
+
+    number: int
+    name: str
+    expression: str
+    rule_numbers: tuple = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.expression.strip():
+            raise ValueError(f"rule {self.name!r}: empty expression")
+
+    @property
+    def rule_type(self) -> str:
+        return "complex"
+
+
+@dataclass
+class RuleSet:
+    """All rules of one host's monitor, indexed by number."""
+
+    rules: dict = field(default_factory=dict)
+
+    def add(self, rule) -> None:
+        if rule.number in self.rules:
+            raise ValueError(f"duplicate rule number {rule.number}")
+        self.rules[rule.number] = rule
+
+    def get(self, number: int):
+        try:
+            return self.rules[number]
+        except KeyError:
+            raise KeyError(f"no rule number {number}") from None
+
+    def by_name(self, name: str):
+        for rule in self.rules.values():
+            if rule.name == name:
+                return rule
+        raise KeyError(f"no rule named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(sorted(self.rules.values(), key=lambda r: r.number))

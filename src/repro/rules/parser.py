@@ -1,0 +1,137 @@
+"""Parser for the paper's rule-file format (Figures 3–4).
+
+A rule file is a sequence of ``rl_key: value`` lines; a new
+``rl_number`` line starts a new rule.  Example (Figure 3)::
+
+    rl_number: 1
+    rl_name: processorStatus
+    rl_type: simple
+    rl_script: processorStatus.sh
+    rl_desc: This rule determines the processor status i.e. the idle time.
+    rl_operator: <
+    rl_param:
+    rl_busy: 50
+    rl_overLd: 45
+
+Complex rules (Figure 4) carry ``rl_ruleNo`` (firing order) and an
+expression in ``rl_script``::
+
+    rl_number: 5
+    rl_name: cmp_rule
+    rl_type: complex
+    rl_desc: A Complex Rule.
+    rl_ruleNo: 4 1 3 2
+    rl_script: ( 40% * r 4 + 30% * r1 + 30% * r3 ) & r2
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from .model import ComplexRule, RuleSet, SimpleRule
+
+
+class RuleParseError(ValueError):
+    """The rule file is malformed."""
+
+
+def parse_rule_file(text: str) -> RuleSet:
+    """Parse a whole rule file into a :class:`RuleSet`."""
+    ruleset = RuleSet()
+    for rule in parse_rules(text):
+        ruleset.add(rule)
+    return ruleset
+
+
+def parse_rules(text: str) -> List[Union[SimpleRule, ComplexRule]]:
+    """Parse the raw ``rl_*`` blocks into rule objects."""
+    blocks: List[dict] = []
+    current: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            raise RuleParseError(f"line {lineno}: expected 'key: value'")
+        key, _, value = line.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if not key.startswith("rl_"):
+            raise RuleParseError(
+                f"line {lineno}: unknown key {key!r} (must start with rl_)"
+            )
+        if key == "rl_number":
+            if current:
+                blocks.append(current)
+            current = {}
+        if key in current:
+            raise RuleParseError(
+                f"line {lineno}: duplicate key {key!r} within one rule"
+            )
+        current[key] = value
+    if current:
+        blocks.append(current)
+    return [_build(block) for block in blocks]
+
+
+def _require(block: dict, key: str) -> str:
+    try:
+        return block[key]
+    except KeyError:
+        name = block.get("rl_name", block.get("rl_number", "?"))
+        raise RuleParseError(f"rule {name}: missing {key}") from None
+
+
+def _build(block: dict) -> Union[SimpleRule, ComplexRule]:
+    number = int(_require(block, "rl_number"))
+    name = _require(block, "rl_name")
+    rtype = block.get("rl_type", "simple").lower()
+    if rtype == "simple":
+        return SimpleRule(
+            number=number,
+            name=name,
+            script=_require(block, "rl_script"),
+            operator=_require(block, "rl_operator"),
+            busy=float(_require(block, "rl_busy")),
+            overloaded=float(_require(block, "rl_overLd")),
+            description=block.get("rl_desc", ""),
+            param=block.get("rl_param", ""),
+        )
+    if rtype == "complex":
+        rule_numbers = tuple(
+            int(tok) for tok in block.get("rl_ruleNo", "").split()
+        )
+        return ComplexRule(
+            number=number,
+            name=name,
+            expression=_require(block, "rl_script"),
+            rule_numbers=rule_numbers,
+            description=block.get("rl_desc", ""),
+        )
+    raise RuleParseError(f"rule {name}: unknown rl_type {rtype!r}")
+
+
+def dump_rule(rule: Union[SimpleRule, ComplexRule]) -> str:
+    """Serialize a rule back to the file format (round-trip support)."""
+    lines = [f"rl_number: {rule.number}", f"rl_name: {rule.name}",
+             f"rl_type: {rule.rule_type}"]
+    if isinstance(rule, SimpleRule):
+        lines += [
+            f"rl_script: {rule.script}",
+            f"rl_desc: {rule.description}",
+            f"rl_operator: {rule.operator}",
+            f"rl_param: {rule.param}",
+            f"rl_busy: {rule.busy:g}",
+            f"rl_overLd: {rule.overloaded:g}",
+        ]
+    else:
+        lines += [
+            f"rl_desc: {rule.description}",
+            "rl_ruleNo: " + " ".join(str(n) for n in rule.rule_numbers),
+            f"rl_script: {rule.expression}",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def dump_rule_file(rules: Iterable) -> str:
+    return "\n".join(dump_rule(rule) for rule in rules)

@@ -1,0 +1,55 @@
+"""Schema store: execution-history feedback across runs.
+
+The paper's future work: the system should "take feedbacks from the
+scheduling and performance history, and automatically improve its
+accuracy and efficiency".  The mechanism is already in the schema
+("updated according to the statistics of actual executions"); the
+store is the persistence layer — each completed run's statistics fold
+into the schema the *next* launch of the same application receives, so
+estimated completion times (which drive victim selection) converge on
+reality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .appschema import ApplicationSchema
+
+
+class SchemaStore:
+    """Keeps the freshest schema per application name."""
+
+    def __init__(self):
+        self._schemas: Dict[str, ApplicationSchema] = {}
+
+    def get(self, name: str) -> Optional[ApplicationSchema]:
+        """The stored schema for ``name`` (None if never seen)."""
+        return self._schemas.get(name)
+
+    def seed(self, schema: ApplicationSchema) -> None:
+        """Install a user-provided initial schema (paper: "initially
+        provided by the users")."""
+        self._schemas[schema.name] = schema
+
+    def record_run(self, schema: ApplicationSchema) -> None:
+        """Store the post-run schema (call with ``runtime.schema`` after
+        completion — it already folded the run's statistics in)."""
+        existing = self._schemas.get(schema.name)
+        if existing is None or schema.run_count >= existing.run_count:
+            self._schemas[schema.name] = schema
+
+    def estimate_error(self, name: str, actual_seconds: float,
+                       cpu_speed: float = 1.0) -> Optional[float]:
+        """Relative error of the current estimate vs an actual run."""
+        schema = self._schemas.get(name)
+        if schema is None or schema.est_exec_time <= 0:
+            return None
+        predicted = schema.estimated_time_on(cpu_speed)
+        return abs(predicted - actual_seconds) / actual_seconds
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def __len__(self) -> int:
+        return len(self._schemas)

@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel.
+
+The foundation of the reproduction: a generator-coroutine DES with
+events, processes, interrupts, stores, counted resources and a
+generalized processor-sharing server used to model both CPUs and
+network links.
+"""
+
+from .errors import Interrupt, SimulationError, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Initialize,
+    Process,
+    Timeout,
+)
+from .fairshare import FairShareServer, ShareJob
+from .kernel import Environment, Infinity
+from .resources import (
+    Container,
+    FilterStore,
+    Resource,
+    Store,
+)
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Environment",
+    "Event",
+    "FairShareServer",
+    "FilterStore",
+    "Infinity",
+    "Initialize",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "ShareJob",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,364 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The design follows the classic generator-coroutine DES structure (as in
+SimPy): an :class:`Event` is a one-shot occurrence with callbacks; a
+:class:`Process` wraps a generator that *yields* events to wait on them.
+
+Only the kernel (:mod:`repro.sim.kernel`) schedules events; this module
+holds the event state machines so the two files stay import-acyclic
+(events never import the kernel).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import Interrupt, SimulationError
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+#: Scheduling priorities (lower value pops first at equal times).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it, which schedules it with the environment; when the kernel
+    pops it, its callbacks run and it becomes *processed*.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Any"):
+        self.env = env
+        #: Callbacks ``cb(event)`` to run on processing; ``None`` once
+        #: processed (used as the processed flag).
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiting processes will have the exception thrown into them.  If no
+        process handles a failed event, the kernel re-raises at the end of
+        the step (unless :meth:`defused`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy outcome of another (triggered) event into this one."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise."""
+        self._defused = True
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed ``delay``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: Any, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Immediately-scheduled event that starts a :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Any, process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Immediate event that throws :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        if process.processed:
+            raise SimulationError("cannot interrupt a terminated process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self.callbacks.append(self._interrupt)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        proc = self.process
+        if proc.processed:
+            return  # terminated in the meantime; interrupt is a no-op
+        # Detach the process from whatever it currently waits on, then
+        # resume it with the failed (Interrupt) event.
+        if proc._target is not None and proc._resume in proc._target.callbacks:
+            proc._target.callbacks.remove(proc._resume)
+        proc._resume(self)
+
+
+class Process(Event):
+    """A simulated process wrapping a generator.
+
+    The process *is* an event: it triggers when the generator returns
+    (successfully, with the generator's return value) or raises (failed).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: Any, generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on.
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has exited."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` (with ``cause``) into the process."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed: throw into the generator.
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(
+                            SimulationError(repr(exc))
+                        )
+            except StopIteration as stop:
+                self._target = None
+                env._active_proc = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_proc = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{next_event!r}"
+                )
+                self._ok = False
+                self._value = err
+                env.schedule(self)
+                return
+
+            if next_event.callbacks is not None:
+                # Not yet processed: park on it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: consume its outcome immediately.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of the events a condition has collected."""
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def keys(self) -> Iterable[Event]:
+        return list(self.events)
+
+    def values(self) -> Iterable[Any]:
+        return [e._value for e in self.events]
+
+    def items(self):
+        return [(e, e._value) for e in self.events]
+
+    def todict(self) -> dict:
+        return dict(self.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.events == other.events
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of events (``&`` / ``|``)."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: Any,
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            if event.callbacks is None and event._value is not PENDING:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return  # already triggered (e.g. by an earlier failure)
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list, count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list, count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Succeeds when *all* of ``events`` have succeeded."""
+
+    def __init__(self, env: Any, events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as *any* of ``events`` has succeeded."""
+
+    def __init__(self, env: Any, events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)

@@ -1,0 +1,255 @@
+"""Generalized processor-sharing server.
+
+A :class:`FairShareServer` serves any number of concurrent *jobs*, each
+with a fixed total service demand, dividing its service rate among them
+in proportion to their weights.  It is the single contention model in
+this project:
+
+* a CPU is a fair-share server whose rate is "work units per second"
+  (time slicing between the application and background tasks);
+* a network link / NIC is a fair-share server whose rate is bytes per
+  second (TCP-fair sharing between flows).
+
+The server also keeps the accounting the paper's monitors need:
+cumulative busy time (→ CPU utilization), the current number of active
+jobs (→ run-queue length → load average), and total work served
+(→ bytes counters, KB/s figures).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from .events import Event
+
+_EPS = 1e-9
+
+
+class ShareJob(Event):
+    """One job on a :class:`FairShareServer`.
+
+    The job is an event: it succeeds when its demand has been fully
+    served.  ``cancel()`` removes it early.
+    """
+
+    __slots__ = ("server", "demand", "remaining", "weight", "started_at",
+                 "finished_at", "label", "_cancelled")
+
+    def __init__(
+        self,
+        server: "FairShareServer",
+        demand: float,
+        weight: float = 1.0,
+        label: str = "",
+    ):
+        if demand < 0:
+            raise ValueError(f"negative demand {demand}")
+        if weight <= 0:
+            raise ValueError(f"non-positive weight {weight}")
+        super().__init__(server.env)
+        self.server = server
+        self.demand = float(demand)
+        self.remaining = float(demand)
+        self.weight = float(weight)
+        self.label = label
+        self.started_at = server.env.now
+        self.finished_at: Optional[float] = None
+        self._cancelled = False
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the demand served so far, in [0, 1]."""
+        if self.demand <= 0:
+            return 1.0
+        return 1.0 - self.remaining / self.demand
+
+    def cancel(self) -> None:
+        """Remove the job from the server without completing it."""
+        if self.triggered or self._cancelled:
+            return
+        self._cancelled = True
+        self.server._remove(self, completed=False)
+
+
+class FairShareServer:
+    """Serves concurrent jobs at ``rate``, shared by weight.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    rate:
+        Total service rate (work units per simulated second).
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(self, env: Any, rate: float, name: str = ""):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        self._jobs: list[ShareJob] = []
+        self._last_update = env.now
+        self._wakeup: Optional[Event] = None
+        self._wakeup_time = math.inf
+        # Accounting
+        self._busy_time = 0.0      # integral of 1{jobs > 0} dt
+        self._queue_time = 0.0     # integral of njobs dt (mean queue length)
+        self._work_done = 0.0      # total demand served
+        #: Optional hook invoked after the active-job set changes
+        #: (lets an owner adjust the rate, e.g. CPU ↔ comm balancing).
+        self.on_jobs_changed = None
+
+    # -- public accounting -------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        """Number of jobs currently being served (run-queue length)."""
+        return len(self._jobs)
+
+    @property
+    def jobs(self) -> list:
+        """Snapshot of the active jobs."""
+        return list(self._jobs)
+
+    def busy_time(self) -> float:
+        """Cumulative time with at least one active job."""
+        self._advance()
+        return self._busy_time
+
+    def queue_time(self) -> float:
+        """Cumulative integral of the run-queue length over time."""
+        self._advance()
+        return self._queue_time
+
+    def work_done(self) -> float:
+        """Total demand served since creation."""
+        self._advance()
+        return self._work_done
+
+    def utilization(self, since_busy: float, since_now: float) -> float:
+        """Utilization over an interval given a previous busy-time sample."""
+        dt = self.env.now - since_now
+        if dt <= 0:
+            return 0.0
+        return (self.busy_time() - since_busy) / dt
+
+    def set_rate(self, rate: float) -> None:
+        """Change the service rate (accounts for work served so far)."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._advance()
+        self.rate = float(rate)
+        self._reschedule()
+
+    # -- job management ----------------------------------------------------
+    def submit(
+        self, demand: float, weight: float = 1.0, label: str = ""
+    ) -> ShareJob:
+        """Add a job with ``demand`` work units; returns its completion event.
+
+        Zero-demand jobs complete immediately.
+        """
+        self._advance()
+        job = ShareJob(self, demand, weight=weight, label=label)
+        if job.remaining <= _EPS:
+            job.finished_at = self.env.now
+            job.succeed()
+            return job
+        self._jobs.append(job)
+        self._notify_jobs_changed()
+        self._reschedule()
+        return job
+
+    def _remove(self, job: ShareJob, completed: bool) -> None:
+        self._advance()
+        if job in self._jobs:
+            self._jobs.remove(job)
+            self._notify_jobs_changed()
+        if completed:
+            job.finished_at = self.env.now
+            job.succeed()
+        self._reschedule()
+
+    def _notify_jobs_changed(self) -> None:
+        if self.on_jobs_changed is not None:
+            self.on_jobs_changed()
+
+    # -- internals -----------------------------------------------------
+    def _total_weight(self) -> float:
+        return sum(j.weight for j in self._jobs)
+
+    def _advance(self) -> None:
+        """Account for service performed since the last update."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        n = len(self._jobs)
+        if n:
+            self._busy_time += dt
+            self._queue_time += dt * n
+            total_w = self._total_weight()
+            for job in self._jobs:
+                served = dt * self.rate * (job.weight / total_w)
+                served = min(served, job.remaining)
+                job.remaining -= served
+                self._work_done += served
+        self._last_update = now
+
+    def _next_completion_delay(self) -> float:
+        if not self._jobs:
+            return math.inf
+        total_w = self._total_weight()
+        return min(
+            j.remaining / (self.rate * (j.weight / total_w))
+            for j in self._jobs
+        )
+
+    def _reschedule(self) -> None:
+        delay = self._next_completion_delay()
+        if delay is math.inf:
+            self._wakeup = None
+            self._wakeup_time = math.inf
+            return
+        when = self.env.now + delay
+        if self._wakeup is not None and not self._wakeup.processed:
+            # An earlier wake-up that is still pending: keep it only if it
+            # is not later than needed; stale wake-ups are ignored on fire.
+            if self._wakeup_time <= when + _EPS:
+                return
+        wakeup = self.env.timeout(max(delay, 0.0))
+        wakeup.callbacks.append(self._on_wakeup)
+        self._wakeup = wakeup
+        self._wakeup_time = when
+
+    def _finished(self, job: ShareJob) -> bool:
+        """Done when under a nanosecond of full-rate service remains
+        (absorbs float residue from ulp-sized clock errors at large
+        simulation times)."""
+        return job.remaining <= max(
+            _EPS * max(1.0, job.demand), 1e-9 * self.rate
+        )
+
+    def _on_wakeup(self, event: Event) -> None:
+        if event is not self._wakeup:
+            return  # stale timer
+        self._advance()
+        finished = [j for j in self._jobs if self._finished(j)]
+        for job in finished:
+            self._jobs.remove(job)
+            job.remaining = 0.0
+            job.finished_at = self.env.now
+            job.succeed()
+        if finished:
+            self._notify_jobs_changed()
+        self._reschedule()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FairShareServer {self.name!r} rate={self.rate} "
+            f"jobs={len(self._jobs)}>"
+        )

@@ -1,0 +1,155 @@
+"""The discrete-event simulation kernel.
+
+:class:`Environment` owns the simulation clock and the pending-event heap.
+Simulated activities are generator functions started with
+:meth:`Environment.process`; they yield :class:`~repro.sim.events.Event`
+objects to wait on them.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3)
+...     return env.now
+>>> p = env.process(hello(env))
+>>> env.run()
+>>> p.value
+3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional, Union
+
+from .errors import SimulationError, StopSimulation
+from .events import (
+    NORMAL,
+    PENDING,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    Timeout,
+)
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in arbitrary units (this project uses seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` for processing after ``delay``."""
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises the event's exception if it failed and nothing defused it.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))  # pragma: no cover
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the queue empties, time ``until``, or event ``until``.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until {at} lies in the past (now={self._now})")
+            # A plain event at `at` with URGENT priority stops the loop
+            # before same-time NORMAL events run.
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, delay=at - self._now, priority=URGENT)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:  # already processed
+                return until.value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if isinstance(until, Event) and until._value is PENDING:
+            raise SimulationError(
+                "event queue ran dry before the until-event triggered"
+            )
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    raise StopSimulation(event._value)

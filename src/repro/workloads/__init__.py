@@ -1,0 +1,22 @@
+"""Migration-enabled applications used by the experiments.
+
+* :class:`TestTreeApp` — the paper's evaluation application;
+* :class:`StencilApp` — multi-rank Jacobi with halo exchange;
+* :class:`MonteCarloPiApp` — embarrassingly parallel π estimation.
+"""
+
+from .datascan import DataScanApp, ScanState
+from .montecarlo import MonteCarloPiApp, PiState
+from .stencil import StencilApp, StencilState
+from .test_tree import TestTreeApp, TreeState
+
+__all__ = [
+    "DataScanApp",
+    "MonteCarloPiApp",
+    "PiState",
+    "ScanState",
+    "StencilApp",
+    "StencilState",
+    "TestTreeApp",
+    "TreeState",
+]

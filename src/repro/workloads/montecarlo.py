@@ -1,0 +1,84 @@
+"""Monte-Carlo π — an embarrassingly parallel multi-rank workload.
+
+Each rank draws batches of points per step (poll-points between
+batches) and the ranks combine partial counts with an ``allreduce`` at
+the end.  Used to exercise migration of one rank of a cooperating MPI
+job whose other ranks keep computing.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..hpcm.app import MigratableApp
+from ..schema import ApplicationSchema, Characteristics
+
+
+@dataclass
+class PiState:
+    """Per-rank live state."""
+
+    batches_total: int
+    batch_size: int
+    sample_cost: float
+    batches_done: int = 0
+    inside: int = 0
+    total: int = 0
+    pi_estimate: float = 0.0
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+
+class MonteCarloPiApp(MigratableApp):
+    """Estimate π by rejection sampling in parallel."""
+
+    name = "mc_pi"
+
+    def __init__(self, rank: int = 0):
+        self.my_rank = rank
+
+    def create_state(self, params: dict, rng: Any) -> PiState:
+        batches = int(params.get("batches", 8))
+        batch_size = int(params.get("batch_size", 10_000))
+        sample_cost = float(params.get("sample_cost", 1e-7))
+        seed = int(params.get("seed", 0))
+        if batches < 1 or batch_size < 1:
+            raise ValueError("batches and batch_size must be >= 1")
+        return PiState(
+            batches_total=batches,
+            batch_size=batch_size,
+            sample_cost=sample_cost,
+            rng=np.random.default_rng(seed + 10_000 * self.my_rank),
+        )
+
+    def run_step(self, state: PiState, ctx: Any):
+        pts = state.rng.random((state.batch_size, 2))
+        state.inside += int(((pts ** 2).sum(axis=1) <= 1.0).sum())
+        state.total += state.batch_size
+        yield ctx.compute(
+            state.batch_size * state.sample_cost, label="mc-batch"
+        )
+        state.batches_done += 1
+        if state.batches_done < state.batches_total:
+            return True
+        # Final combine across the world.
+        inside, total = yield from ctx.comm.allreduce(
+            (state.inside, state.total),
+            op=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        state.pi_estimate = 4.0 * inside / total
+        return False
+
+    def finalize(self, state: PiState) -> float:
+        return state.pi_estimate
+
+    def default_schema(self) -> ApplicationSchema:
+        return ApplicationSchema(
+            name=self.name,
+            characteristics=Characteristics.COMPUTE,
+        )

@@ -1,0 +1,81 @@
+"""CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.analysis import export_series, export_table2
+from repro.analysis.policies import PolicyRunResult
+from repro.metrics import TimeSeries
+
+
+def make_ts(points):
+    ts = TimeSeries()
+    for t, v in points:
+        ts.append(t, v)
+    return ts
+
+
+def read_csv(path):
+    with open(path, newline="", encoding="ascii") as fh:
+        return list(csv.reader(fh))
+
+
+def test_export_series_long_format(tmp_path):
+    path = export_series(
+        str(tmp_path / "s.csv"),
+        {"a": make_ts([(0, 1.0), (10, 2.0)]),
+         "b": make_ts([(5, 3.5)])},
+    )
+    rows = read_csv(path)
+    assert rows[0] == ["series", "t_seconds", "value"]
+    assert ["a", "0.0", "1.0"] in rows
+    assert ["b", "5.0", "3.5"] in rows
+    assert len(rows) == 4
+
+
+def test_export_series_values_roundtrip_exactly(tmp_path):
+    value = 0.1 + 0.2  # a float with an ugly repr
+    path = export_series(str(tmp_path / "s.csv"),
+                         {"x": make_ts([(1.5, value)])})
+    rows = read_csv(path)
+    assert float(rows[1][2]) == value  # repr() round-trips floats
+
+
+def test_export_table2(tmp_path):
+    results = {
+        1: PolicyRunResult("policy-1", 983.6, None, 983.6, 0.0, None,
+                           True, None),
+        2: PolicyRunResult("policy-2", 433.27, "ws2", 242.68, 198.98,
+                           8.31, True, 130.0),
+    }
+    path = export_table2(results, str(tmp_path / "table2.csv"))
+    rows = read_csv(path)
+    assert rows[0][0] == "policy"
+    assert rows[1][0] == "policy-1" and rows[1][2] == ""
+    assert rows[2][2] == "ws2" and float(rows[2][5]) == 8.31
+
+
+def test_export_overhead_and_efficiency(tmp_path):
+    # Use the real drivers once (short horizons) to exercise the
+    # exporters end to end.
+    from repro.analysis import (
+        export_efficiency,
+        export_overhead,
+        run_efficiency_experiment,
+        run_overhead_experiment,
+    )
+
+    overhead = run_overhead_experiment(duration=1200, settle=600)
+    paths = export_overhead(overhead, str(tmp_path / "ovh"))
+    assert set(paths) == {"fig5", "fig6", "summary"}
+    summary = dict(read_csv(paths["summary"])[1:])
+    assert "load_overhead" in summary
+
+    efficiency = run_efficiency_experiment()
+    paths = export_efficiency(efficiency, str(tmp_path / "eff"))
+    rows = read_csv(paths["phases"])
+    phases = dict(rows[1:])
+    assert "total_s" in phases
+    fig7 = read_csv(paths["fig7"])
+    assert {"cpu_source", "cpu_dest"} <= {r[0] for r in fig7[1:]}

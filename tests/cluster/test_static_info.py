@@ -1,0 +1,30 @@
+"""Static host information (registration payload)."""
+
+from repro.cluster import Cluster
+
+
+def test_static_info_carries_speed_and_features():
+    cluster = Cluster(n_hosts=1)
+    host = cluster.add_host("fat", cpu_speed=4.0,
+                            features=("fpu", "bigmem"))
+    info = host.static_info.as_dict()
+    assert info["cpu_speed"] == 4.0
+    assert info["features"] == "fpu,bigmem"
+    assert info["os"] == "SunOS 5.8"
+    assert info["cpu_mhz"] == 500.0
+
+
+def test_default_features_empty():
+    cluster = Cluster(n_hosts=1)
+    info = cluster["ws1"].static_info.as_dict()
+    assert info["features"] == ""
+    assert info["cpu_speed"] == 1.0
+
+
+def test_extras_merged():
+    from repro.cluster import StaticInfo
+
+    info = StaticInfo(hostname="h", ip="1.2.3.4", os="Linux",
+                      arch="x86", cpu_mhz=3000, memory_bytes=2**30,
+                      extras={"rack": "r12"})
+    assert info.as_dict()["rack"] == "r12"

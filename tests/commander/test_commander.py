@@ -1,0 +1,115 @@
+"""Commander: signal delivery, temp files, error paths."""
+
+import os
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.commander import Commander
+from repro.hpcm import launch
+from repro.mpi import MpiRuntime
+from repro.protocol import Ack, Endpoint, EndpointRegistry, MigrateCommand
+from repro.workloads import TestTreeApp
+
+PARAMS = {"levels": 8, "trees": 30, "node_cost": 1e-3, "seed": 0}
+
+
+def deploy(use_tempfile=False):
+    cluster = Cluster(n_hosts=2, seed=0)
+    mpi = MpiRuntime(cluster)
+    directory = EndpointRegistry()
+    commander = Commander(cluster["ws1"], directory,
+                          use_tempfile=use_tempfile)
+    sender = Endpoint(cluster["ws2"], directory, name="registry")
+    return cluster, mpi, commander, sender
+
+
+def collect_acks(cluster, sender):
+    acks = []
+
+    def pump(env):
+        while True:
+            msg, _, _ = yield sender.recv()
+            if isinstance(msg, Ack):
+                acks.append(msg)
+
+    cluster.env.process(pump(cluster.env))
+    return acks
+
+
+def test_command_reaches_process_and_migrates():
+    cluster, mpi, commander, sender = deploy()
+    rt = launch(mpi, TestTreeApp(), cluster["ws1"], params=PARAMS)
+    acks = collect_acks(cluster, sender)
+    sender.send_and_forget(
+        commander.address,
+        MigrateCommand(host="ws1", pid=rt.process.proc_entry.pid,
+                       dest="ws2", reason="test",
+                       decision_seconds=0.002),
+    )
+    cluster.env.run(until=rt.done)
+    assert rt.host.name == "ws2"
+    (rec,) = rt.migrations
+    assert rec.reason == "test"
+    assert rec.decision_seconds == 0.002
+    assert acks and acks[0].ok
+    assert commander.log[0].delivered
+
+
+def test_unknown_pid_nacked():
+    cluster, mpi, commander, sender = deploy()
+    acks = collect_acks(cluster, sender)
+    sender.send_and_forget(
+        commander.address,
+        MigrateCommand(host="ws1", pid=9999, dest="ws2"),
+    )
+    cluster.run(until=5)
+    assert acks and not acks[0].ok
+    assert "no such pid" in acks[0].detail
+
+
+def test_non_migratable_process_nacked():
+    cluster, mpi, commander, sender = deploy()
+    entry = cluster["ws1"].procs.spawn("plain", kind="background")
+    acks = collect_acks(cluster, sender)
+    sender.send_and_forget(
+        commander.address,
+        MigrateCommand(host="ws1", pid=entry.pid, dest="ws2"),
+    )
+    cluster.run(until=5)
+    assert acks and not acks[0].ok
+    assert "not migration-enabled" in acks[0].detail
+
+
+def test_tempfile_mechanism():
+    """The paper's design: the destination address travels via a real
+    temp file written by the commander and read (then removed) by the
+    migrating process."""
+    cluster, mpi, commander, sender = deploy(use_tempfile=True)
+    rt = launch(mpi, TestTreeApp(), cluster["ws1"], params=PARAMS)
+    sender.send_and_forget(
+        commander.address,
+        MigrateCommand(host="ws1", pid=rt.process.proc_entry.pid,
+                       dest="ws2"),
+    )
+    cluster.env.run(until=rt.done)
+    assert rt.host.name == "ws2"
+    # The temp file must be gone after the process consumed it.
+    (rec,) = rt.migrations
+    assert rec.dest == "ws2"
+    leftovers = [
+        f for f in os.listdir("/tmp") if f.startswith("hpcm-dest-")
+    ]
+    assert leftovers == []
+
+
+def test_signal_latency_configurable():
+    cluster = Cluster(n_hosts=2, seed=0)
+    directory = EndpointRegistry()
+    commander = Commander(cluster["ws1"], directory, signal_latency=1.0)
+    sender = Endpoint(cluster["ws2"], directory, name="registry")
+    sender.send_and_forget(
+        commander.address, MigrateCommand(host="ws1", pid=1, dest="ws2")
+    )
+    cluster.run(until=5)
+    assert commander.log[0].at >= 1.0

@@ -1,0 +1,56 @@
+"""The command-line interface."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5", "fig7", "table2", "all"):
+        assert name in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "overloaded" in out
+
+
+def test_table2_command_with_export(tmp_path, capsys):
+    assert main(["table2", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "policy-1" in out and "ws4" in out
+    with open(tmp_path / "table2.csv", newline="") as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0][0] == "policy"
+    assert len(rows) == 4
+
+
+def test_fig7_command_with_export(tmp_path, capsys):
+    assert main(["fig7", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "warm-up" in out
+    assert os.path.exists(tmp_path / "migration_phases.csv")
+
+
+def test_fig5_command_short_duration(capsys):
+    assert main(["fig5", "--duration", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "load overhead %" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["warp"])
+
+
+def test_seed_flag_changes_nothing_structural(capsys):
+    assert main(["table1", "--seed", "3"]) == 0
+    assert "Table 1" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Pull-based registration (§3.2's alternative model)."""
+
+import pytest
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import CpuHog
+from repro.workloads import TestTreeApp
+
+PARAMS = {"levels": 10, "trees": 60, "node_cost": 4e-4, "seed": 1}
+
+
+def deploy(mode, seed=0):
+    cluster = Cluster(n_hosts=3, seed=seed)
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3, mode=mode),
+    )
+    return cluster, rs
+
+
+def test_pull_mode_populates_table():
+    cluster, rs = deploy("pull")
+    cluster.run(until=60)
+    rec = rs.registry.table.get("ws2")
+    assert rec.updates_received >= 3
+    assert "loadavg1" in rec.metrics
+
+
+def test_pull_monitor_is_silent_without_queries():
+    """In pull mode a monitor never volunteers a report."""
+    from repro.monitor import Monitor
+    from repro.protocol import Endpoint, EndpointRegistry, StatusUpdate
+
+    cluster = Cluster(n_hosts=2, seed=0)
+    directory = EndpointRegistry()
+    sink = Endpoint(cluster["ws2"], directory, name="registry")
+    Monitor(cluster["ws1"], directory, registry_address=sink.address,
+            mode="pull")
+    inbox = []
+
+    def pump(env):
+        while True:
+            item = yield sink.recv()
+            inbox.append(item)
+
+    cluster.env.process(pump(cluster.env))
+    cluster.run(until=120)
+    kinds = [type(m).__name__ for m, _, _ in inbox]
+    assert kinds == ["Register"]
+
+
+def test_pull_mode_autonomic_migration_works():
+    cluster, rs = deploy("pull")
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+
+    def inject(env):
+        yield env.timeout(30)
+        CpuHog(cluster["ws1"], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=app.done)
+    assert app.migration_count == 1
+    assert app.host.name != "ws1"
+    assert app.result == pytest.approx(
+        TestTreeApp.expected_checksum(PARAMS)
+    )
+
+
+def test_pull_costs_roundtrip_traffic():
+    """Pull pays query + reply per sample; push pays reply only."""
+    def traffic(mode):
+        cluster, rs = deploy(mode)
+        cluster.run(until=600)
+        out = rs.registry.endpoint.bytes_out
+        inn = rs.registry.endpoint.bytes_in
+        return out, inn
+
+    push_out, push_in = traffic("push")
+    pull_out, pull_in = traffic("pull")
+    # The pull registry transmits queries; the push registry barely
+    # transmits at all.
+    assert pull_out > push_out * 5
+    assert pull_in > 0 and push_in > 0
+
+
+def test_invalid_mode_rejected():
+    cluster = Cluster(n_hosts=2, seed=0)
+    with pytest.raises(ValueError):
+        Rescheduler(cluster, config=ReschedulerConfig(mode="gossip"))

@@ -1,0 +1,53 @@
+"""State capture / chunk / restore."""
+
+import numpy as np
+import pytest
+
+from repro.hpcm import StateCaptureError, capture, chunk, join, restore
+
+
+def test_capture_restore_roundtrip():
+    state = {"a": np.arange(100), "b": "text", "c": [1, 2, 3]}
+    blob = capture(state)
+    back = restore(blob)
+    assert back["b"] == "text"
+    assert np.array_equal(back["a"], state["a"])
+
+
+def test_capture_size_scales_with_state():
+    small = capture(np.zeros(10))
+    big = capture(np.zeros(100_000))
+    assert len(big) > len(small) * 100
+
+
+def test_unpicklable_state_raises():
+    with pytest.raises(StateCaptureError):
+        capture(lambda x: x)  # lambdas don't pickle
+
+
+def test_restore_garbage_raises():
+    with pytest.raises(StateCaptureError):
+        restore(b"not a pickle")
+
+
+def test_chunk_join_roundtrip():
+    blob = bytes(range(256)) * 100
+    for n in (1, 2, 7, 8, 100):
+        assert join(chunk(blob, n)) == blob
+
+
+def test_chunk_count_bounded():
+    blob = b"x" * 1000
+    pieces = chunk(blob, 8)
+    assert len(pieces) <= 8
+    assert all(pieces)
+
+
+def test_chunk_empty_blob():
+    assert chunk(b"", 8) == [b""]
+    assert join(chunk(b"", 8)) == b""
+
+
+def test_chunk_invalid_count():
+    with pytest.raises(ValueError):
+        chunk(b"abc", 0)

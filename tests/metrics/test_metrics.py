@@ -1,0 +1,144 @@
+"""TimeSeries, recorders and plain-text reports."""
+
+import pytest
+
+from repro.cluster import Cluster, CpuHog
+from repro.metrics import (
+    ClusterRecorder,
+    HostRecorder,
+    TimeSeries,
+    ascii_plot,
+    format_table,
+)
+
+
+# ------------------------------------------------------------ TimeSeries
+def make_series(points):
+    ts = TimeSeries("x")
+    for t, v in points:
+        ts.append(t, v)
+    return ts
+
+
+def test_append_and_views():
+    ts = make_series([(0, 1.0), (10, 2.0), (20, 3.0)])
+    assert len(ts) == 3
+    assert list(ts.times) == [0, 10, 20]
+    assert ts.points()[-1] == (20.0, 3.0)
+    assert bool(ts)
+    assert not bool(TimeSeries())
+
+
+def test_non_decreasing_times_enforced():
+    ts = make_series([(10, 1.0)])
+    with pytest.raises(ValueError):
+        ts.append(5, 2.0)
+
+
+def test_statistics():
+    ts = make_series([(0, 1.0), (10, 3.0), (20, 5.0)])
+    assert ts.mean() == pytest.approx(3.0)
+    assert ts.max() == 5.0
+    assert ts.min() == 1.0
+    assert ts.mean(t_min=10) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        ts.mean(t_min=100)
+
+
+def test_value_at_step_interpolation():
+    ts = make_series([(10, 1.0), (20, 2.0)])
+    assert ts.value_at(5) is None
+    assert ts.value_at(10) == 1.0
+    assert ts.value_at(15) == 1.0
+    assert ts.value_at(25) == 2.0
+
+
+def test_overhead_vs():
+    base = make_series([(0, 1.0), (10, 1.0)])
+    loaded = make_series([(0, 1.04), (10, 1.04)])
+    assert loaded.overhead_vs(base) == pytest.approx(0.04)
+    zero = make_series([(0, 0.0)])
+    with pytest.raises(ValueError):
+        loaded.overhead_vs(zero)
+
+
+# -------------------------------------------------------------- recorder
+def test_host_recorder_samples_metrics():
+    cluster = Cluster(n_hosts=2, seed=0)
+    rec = HostRecorder(cluster["ws1"], interval=10.0)
+    CpuHog(cluster["ws1"], count=2)
+    cluster.run(until=300)
+    assert len(rec["loadavg1"]) >= 25
+    assert rec["loadavg1"].values[-1] == pytest.approx(2.0, abs=0.2)
+    assert rec["cpu_util"].values[-1] == pytest.approx(1.0, abs=0.01)
+    assert rec["load_true"].mean(t_min=50) == pytest.approx(2.0, abs=0.05)
+
+
+def test_recorder_comm_rates():
+    cluster = Cluster(n_hosts=2, seed=0, cpu_per_byte=0.0)
+    rec = HostRecorder(cluster["ws1"], interval=10.0)
+    cluster.network.open_stream("ws1", "ws2", rate_cap=1024 * 50)
+    cluster.run(until=100)
+    assert rec["send_kbs"].values[-1] == pytest.approx(50.0, rel=0.05)
+
+
+def test_recorder_stop():
+    cluster = Cluster(n_hosts=1, seed=0)
+    rec = HostRecorder(cluster["ws1"], interval=10.0)
+    cluster.run(until=50)
+    n = len(rec["loadavg1"])
+    rec.stop()
+    cluster.run(until=200)
+    assert len(rec["loadavg1"]) <= n + 1
+
+
+def test_cluster_recorder():
+    cluster = Cluster(n_hosts=3, seed=0)
+    rec = ClusterRecorder(cluster, interval=10.0, hosts=["ws1", "ws3"])
+    cluster.run(until=50)
+    assert len(rec["ws1"]["loadavg1"]) > 0
+    with pytest.raises(KeyError):
+        rec["ws2"]
+
+
+def test_recorder_invalid_interval():
+    cluster = Cluster(n_hosts=1, seed=0)
+    with pytest.raises(ValueError):
+        HostRecorder(cluster["ws1"], interval=0)
+
+
+# -------------------------------------------------------------- reports
+def test_format_table_alignment():
+    text = format_table(
+        ["policy", "total"],
+        [("P1", 983.6), ("P2", 433.27)],
+        title="Table 2",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table 2"
+    assert "policy" in lines[1] and "total" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_number_formats():
+    text = format_table(["v"], [(0.000123,), (12345.6,), (0,)])
+    assert "0.000123" in text and "1.23e+04" in text
+
+
+def test_ascii_plot_renders():
+    ts1 = make_series([(i * 10, float(i % 5)) for i in range(20)])
+    ts2 = make_series([(i * 10, 2.0) for i in range(20)])
+    art = ascii_plot([ts1, ts2], title="demo", labels=["a", "b"])
+    assert "demo" in art
+    assert "*" in art and "o" in art
+    assert "a" in art.splitlines()[-1]
+
+
+def test_ascii_plot_empty():
+    assert "(no data)" in ascii_plot([TimeSeries()], title="t")
+
+
+def test_ascii_plot_constant_series():
+    ts = make_series([(0, 1.0), (10, 1.0)])
+    art = ascii_plot([ts])  # must not divide by zero
+    assert "*" in art

@@ -1,0 +1,101 @@
+"""sendrecv, alltoall, scan."""
+
+import operator
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi import MpiError, MpiRuntime
+
+
+def run_collective(entry, n_ranks=4):
+    cluster = Cluster(n_hosts=n_ranks, cpu_per_byte=0.0)
+    rt = MpiRuntime(cluster)
+    result = rt.launch(entry, cluster.host_list())
+    cluster.env.run(until=result.done)
+    assert all(p.ok for p in result.sim_procs), [
+        p.value for p in result.sim_procs if not p.ok
+    ]
+    return result.values()
+
+
+def test_sendrecv_ring_exchange():
+    def entry(ctx):
+        right = (ctx.rank + 1) % ctx.size
+        left = (ctx.rank - 1) % ctx.size
+        got = yield from ctx.comm.sendrecv(
+            f"from{ctx.rank}", dest=right, source=left,
+            sendtag=7, recvtag=7,
+        )
+        return got
+
+    values = run_collective(entry, n_ranks=4)
+    assert values == ["from3", "from0", "from1", "from2"]
+
+
+def test_sendrecv_pairwise_no_deadlock():
+    # Both partners send first: blocking sends would deadlock; the
+    # combined call must not.
+    def entry(ctx):
+        partner = ctx.rank ^ 1
+        got = yield from ctx.comm.sendrecv(ctx.rank * 10, dest=partner,
+                                           source=partner)
+        return got
+
+    values = run_collective(entry, n_ranks=4)
+    assert values == [10, 0, 30, 20]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_alltoall(size):
+    def entry(ctx):
+        chunks = [(ctx.rank, dst) for dst in range(ctx.size)]
+        out = yield from ctx.comm.alltoall(chunks)
+        return out
+
+    values = run_collective(entry, n_ranks=size)
+    for r, received in enumerate(values):
+        assert received == [(src, r) for src in range(size)]
+
+
+def test_alltoall_wrong_length():
+    def entry(ctx):
+        with pytest.raises(MpiError):
+            yield from ctx.comm.alltoall([1])
+
+    run_collective(entry, n_ranks=2)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 7])
+def test_scan_prefix_sums(size):
+    def entry(ctx):
+        result = yield from ctx.comm.scan(ctx.rank + 1, operator.add)
+        return result
+
+    values = run_collective(entry, n_ranks=size)
+    assert values == [(r + 1) * (r + 2) // 2 for r in range(size)]
+
+
+def test_scan_with_noncommutative_op():
+    # String concatenation is associative but not commutative: scan must
+    # preserve rank order.
+    def entry(ctx):
+        result = yield from ctx.comm.scan(str(ctx.rank), operator.add)
+        return result
+
+    values = run_collective(entry, n_ranks=4)
+    assert values == ["0", "01", "012", "0123"]
+
+
+def test_back_to_back_extra_collectives():
+    def entry(ctx):
+        a = yield from ctx.comm.scan(1, operator.add)
+        chunks = [a] * ctx.size
+        b = yield from ctx.comm.alltoall(chunks)
+        c = yield from ctx.comm.allreduce(sum(b), operator.add)
+        return c
+
+    values = run_collective(entry, n_ranks=3)
+    # scan gives [1,2,3]; alltoall rows become [1,2,3] everywhere
+    # (rank r receives each rank's scan value); sum = 6; allreduce = 18.
+    assert values == [18, 18, 18]

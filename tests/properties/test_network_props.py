@@ -1,0 +1,118 @@
+"""Property-based tests: max-min fair network invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, Network
+from repro.sim import Environment
+
+HOSTS = ["h1", "h2", "h3", "h4"]
+
+_flow_specs = st.lists(
+    st.tuples(
+        st.sampled_from(HOSTS),               # src
+        st.sampled_from(HOSTS),               # dst
+        st.floats(min_value=1.0, max_value=500.0),   # rate cap
+    ).filter(lambda t: t[0] != t[1]),
+    min_size=1, max_size=8,
+)
+
+
+def make_net(env, bandwidth=100.0):
+    net = Network(env, default_bandwidth=bandwidth, latency=0.0)
+    for h in HOSTS:
+        net.add_host(h)
+    return net
+
+
+@given(_flow_specs)
+@settings(max_examples=60, deadline=None)
+def test_rates_never_exceed_capacity(specs):
+    env = Environment()
+    net = make_net(env, bandwidth=100.0)
+    flows = [net.open_stream(s, d, rate_cap=c) for s, d, c in specs]
+    # Per-direction NIC usage within capacity; caps respected.
+    tx = {h: 0.0 for h in HOSTS}
+    rx = {h: 0.0 for h in HOSTS}
+    for flow in flows:
+        assert flow.rate <= flow.rate_cap + 1e-6
+        tx[flow.src] += flow.rate
+        rx[flow.dst] += flow.rate
+    for h in HOSTS:
+        assert tx[h] <= 100.0 + 1e-6
+        assert rx[h] <= 100.0 + 1e-6
+
+
+@given(_flow_specs)
+@settings(max_examples=60, deadline=None)
+def test_every_flow_is_bottlenecked(specs):
+    """Max-min fairness: each flow is either at its cap or crosses a
+    saturated NIC direction where it has a maximal rate."""
+    env = Environment()
+    net = make_net(env, bandwidth=100.0)
+    flows = [net.open_stream(s, d, rate_cap=c) for s, d, c in specs]
+    tx = {h: 0.0 for h in HOSTS}
+    rx = {h: 0.0 for h in HOSTS}
+    for flow in flows:
+        tx[flow.src] += flow.rate
+        rx[flow.dst] += flow.rate
+    for flow in flows:
+        if flow.rate >= flow.rate_cap - 1e-6:
+            continue
+        saturated = []
+        if tx[flow.src] >= 100.0 - 1e-5:
+            saturated.append(
+                max(f.rate for f in flows if f.src == flow.src)
+            )
+        if rx[flow.dst] >= 100.0 - 1e-5:
+            saturated.append(
+                max(f.rate for f in flows if f.dst == flow.dst)
+            )
+        assert saturated, f"{flow} neither capped nor bottlenecked"
+        # On at least one saturated resource the flow's rate is maximal
+        # among non-capped flows (otherwise it could grow).
+        assert any(flow.rate >= peak - 1e-5 or _all_capped_above(
+            flows, flow) for peak in saturated)
+
+
+def _all_capped_above(flows, flow):
+    return all(
+        f.rate >= f.rate_cap - 1e-6 or f.rate <= flow.rate + 1e-5
+        for f in flows
+    )
+
+
+@given(
+    st.lists(st.floats(min_value=100.0, max_value=100_000.0),
+             min_size=1, max_size=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_bytes_conserved(sizes):
+    """Every transferred byte is accounted at both NICs."""
+    env = Environment()
+    net = make_net(env, bandwidth=1000.0)
+    for i, size in enumerate(sizes):
+        net.transfer(HOSTS[i % 2], HOSTS[2 + i % 2], size)
+    env.run()
+    total = sum(sizes)
+    sent = sum(net.bytes_sent(h) for h in HOSTS)
+    received = sum(net.bytes_received(h) for h in HOSTS)
+    assert sent == pytest.approx(total, rel=1e-6)
+    assert received == pytest.approx(total, rel=1e-6)
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=100.0, max_value=10_000.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_parallel_transfer_makespan(n_flows, size):
+    """n equal transfers through one tx NIC: makespan == n·size/bw."""
+    env = Environment()
+    net = make_net(env, bandwidth=100.0)
+    for _ in range(n_flows):
+        net.transfer("h1", "h2", size)
+    env.run()
+    assert env.now == pytest.approx(n_flows * size / 100.0, rel=1e-6)

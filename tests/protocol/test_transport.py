@@ -1,0 +1,104 @@
+"""Endpoint transport over the simulated network."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.protocol import Ack, Endpoint, EndpointRegistry, StatusUpdate
+from repro.rules import SystemState
+
+
+def setup():
+    cluster = Cluster(n_hosts=2, seed=0)
+    directory = EndpointRegistry()
+    a = Endpoint(cluster["ws1"], directory, name="alpha")
+    b = Endpoint(cluster["ws2"], directory, name="beta")
+    return cluster, a, b
+
+
+def test_addresses():
+    cluster, a, b = setup()
+    assert a.address == "alpha@ws1"
+    assert b.address == "beta@ws2"
+    assert a.directory.lookup("beta@ws2") is b
+
+
+def test_duplicate_address_rejected():
+    cluster, a, b = setup()
+    with pytest.raises(ValueError):
+        Endpoint(cluster["ws1"], a.directory, name="alpha")
+
+
+def test_unknown_address_rejected():
+    cluster, a, b = setup()
+    with pytest.raises(KeyError):
+        a.send("gamma@ws9", Ack(host="ws1"))
+
+
+def test_send_recv_roundtrip():
+    cluster, a, b = setup()
+    got = {}
+
+    def receiver(env):
+        msg, sender, ts = yield b.recv()
+        got["msg"] = msg
+        got["sender"] = sender
+
+    cluster.env.process(receiver(cluster.env))
+    a.send("beta@ws2", StatusUpdate(host="ws1", state=SystemState.BUSY,
+                                    metrics={"loadavg1": 1.5}))
+    cluster.run(until=5)
+    assert got["msg"].state is SystemState.BUSY
+    assert got["msg"].metrics["loadavg1"] == 1.5
+    assert got["sender"] == "alpha@ws1"
+
+
+def test_same_host_delivery():
+    cluster, a, b = setup()
+    c = Endpoint(cluster["ws1"], a.directory, name="gamma")
+    got = {}
+
+    def receiver(env):
+        msg, _, _ = yield c.recv()
+        got["t"] = env.now
+
+    cluster.env.process(receiver(cluster.env))
+    a.send("gamma@ws1", Ack(host="ws1"))
+    cluster.run(until=1)
+    assert got["t"] < 0.01  # local latency only
+
+
+def test_byte_accounting():
+    cluster, a, b = setup()
+
+    def receiver(env):
+        yield b.recv()
+
+    cluster.env.process(receiver(cluster.env))
+    a.send("beta@ws2", Ack(host="ws1"))
+    cluster.run(until=5)
+    assert a.bytes_out > 0
+    assert b.bytes_in == a.bytes_out
+
+
+def test_send_to_down_host_fails_event():
+    cluster, a, b = setup()
+    cluster["ws2"].crash()
+    failures = {}
+
+    def sender(env):
+        try:
+            yield a.send("beta@ws2", Ack(host="ws1"))
+        except ConnectionError:
+            failures["caught"] = True
+
+    cluster.env.process(sender(cluster.env))
+    cluster.run(until=5)
+    assert failures.get("caught")
+
+
+def test_send_and_forget_swallows_failures():
+    cluster, a, b = setup()
+    cluster["ws2"].crash()
+    a.send_and_forget("beta@ws2", Ack(host="ws1"))
+    cluster.run(until=5)  # must not raise
+    assert b.bytes_in == 0

@@ -1,0 +1,51 @@
+"""Destination-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.registry import best_fit, first_fit, random_fit
+from repro.registry.softstate import HostRecord
+
+
+def rec(host, load):
+    return HostRecord(host=host, registered_at=0.0,
+                      metrics={"loadavg1": load})
+
+
+def test_first_fit_takes_first():
+    candidates = [rec("b", 0.9), rec("a", 0.1)]
+    assert first_fit(candidates).host == "b"
+
+
+def test_first_fit_empty():
+    assert first_fit([]) is None
+
+
+def test_best_fit_takes_least_loaded():
+    candidates = [rec("b", 0.9), rec("a", 0.1), rec("c", 0.5)]
+    assert best_fit(candidates).host == "a"
+
+
+def test_best_fit_tie_breaks_by_name():
+    candidates = [rec("b", 0.5), rec("a", 0.5)]
+    assert best_fit(candidates).host == "a"
+
+
+def test_best_fit_empty():
+    assert best_fit([]) is None
+
+
+def test_random_fit_uniform_and_seeded():
+    rng = np.random.default_rng(0)
+    candidates = [rec(n, 0.0) for n in "abcd"]
+    picks = {random_fit(candidates, rng=rng).host for _ in range(100)}
+    assert picks == {"a", "b", "c", "d"}
+
+
+def test_random_fit_requires_rng():
+    with pytest.raises(ValueError):
+        random_fit([rec("a", 0.0)])
+
+
+def test_random_fit_empty():
+    assert random_fit([], rng=np.random.default_rng(0)) is None

@@ -1,0 +1,109 @@
+"""Rule-file parsing: the paper's exact format, round-trips, errors."""
+
+import pytest
+
+from repro.rules import (
+    PAPER_RULE_FILE,
+    ComplexRule,
+    RuleParseError,
+    SimpleRule,
+    dump_rule_file,
+    parse_rule_file,
+    parse_rules,
+)
+
+
+def test_parse_paper_rule_file():
+    ruleset = parse_rule_file(PAPER_RULE_FILE)
+    assert len(ruleset) == 5
+    r1 = ruleset.get(1)
+    assert isinstance(r1, SimpleRule)
+    assert r1.name == "processorStatus"
+    assert r1.script == "processorStatus.sh"
+    assert r1.operator == "<"
+    assert r1.busy == 50 and r1.overloaded == 45
+    assert r1.param == ""
+
+    r2 = ruleset.get(2)
+    assert r2.param == "ESTABLISHED"
+    assert r2.operator == ">"
+    assert r2.busy == 700 and r2.overloaded == 900
+
+    r5 = ruleset.get(5)
+    assert isinstance(r5, ComplexRule)
+    assert r5.rule_numbers == (4, 1, 3, 2)
+    assert "40%" in r5.expression
+
+
+def test_round_trip():
+    rules = list(parse_rule_file(PAPER_RULE_FILE))
+    text = dump_rule_file(rules)
+    again = parse_rules(text)
+    assert again == rules
+
+
+def test_by_name_lookup():
+    ruleset = parse_rule_file(PAPER_RULE_FILE)
+    assert ruleset.by_name("cmp_rule").number == 5
+    with pytest.raises(KeyError):
+        ruleset.by_name("nope")
+
+
+def test_missing_required_key():
+    text = "rl_number: 1\nrl_name: x\nrl_type: simple\nrl_script: a.sh\n"
+    with pytest.raises(RuleParseError, match="rl_operator"):
+        parse_rules(text)
+
+
+def test_unknown_type():
+    text = "rl_number: 1\nrl_name: x\nrl_type: quantum\n"
+    with pytest.raises(RuleParseError, match="rl_type"):
+        parse_rules(text)
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(RuleParseError, match="unknown key"):
+        parse_rules("bogus: 1\n")
+
+
+def test_line_without_colon_rejected():
+    with pytest.raises(RuleParseError, match="key: value"):
+        parse_rules("rl_number 1\n")
+
+
+def test_duplicate_key_in_rule_rejected():
+    text = "rl_number: 1\nrl_name: a\nrl_name: b\n"
+    with pytest.raises(RuleParseError, match="duplicate"):
+        parse_rules(text)
+
+
+def test_duplicate_rule_number_rejected():
+    two = PAPER_RULE_FILE.split("\n\n")[0]
+    with pytest.raises(ValueError, match="duplicate rule number"):
+        parse_rule_file(two + "\n\n" + two)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "# comment\n\nrl_number: 7\nrl_name: z\nrl_type: complex\nrl_script: r1 & r2\n"
+    (rule,) = parse_rules(text)
+    assert rule.number == 7
+
+
+def test_threshold_sanity_validation():
+    with pytest.raises(ValueError, match="rl_overLd"):
+        SimpleRule(number=1, name="bad", script="s.sh", operator="<",
+                   busy=10, overloaded=20)
+    with pytest.raises(ValueError, match="rl_overLd"):
+        SimpleRule(number=1, name="bad", script="s.sh", operator=">",
+                   busy=20, overloaded=10)
+
+
+def test_operator_validation():
+    with pytest.raises(ValueError, match="operator"):
+        SimpleRule(number=1, name="bad", script="s.sh", operator="==",
+                   busy=1, overloaded=1)
+
+
+def test_empty_complex_expression_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        ComplexRule(number=1, name="bad", expression="  ")

@@ -1,0 +1,111 @@
+"""Application schema: XML round-trip, estimates, feedback."""
+
+import pytest
+
+from repro.schema import (
+    ApplicationSchema,
+    Characteristics,
+    ResourceRequirements,
+)
+
+
+def make_schema(**kw):
+    defaults = dict(
+        name="test_tree",
+        characteristics=Characteristics.COMPUTE,
+        est_comm_bytes=1_000_000,
+        est_exec_time=500.0,
+        reference_speed=1.0,
+        requirements=ResourceRequirements(
+            min_memory_bytes=64 * 2**20,
+            min_disk_bytes=10**9,
+            min_cpu_speed=0.5,
+            features=("fpu",),
+        ),
+        data_locality=0.1,
+    )
+    defaults.update(kw)
+    return ApplicationSchema(**defaults)
+
+
+def test_xml_roundtrip():
+    schema = make_schema()
+    text = schema.to_xml()
+    assert text.startswith("<applicationSchema>")
+    back = ApplicationSchema.from_xml(text)
+    assert back == schema
+
+
+def test_xml_roundtrip_defaults():
+    schema = ApplicationSchema(name="minimal")
+    assert ApplicationSchema.from_xml(schema.to_xml()) == schema
+
+
+def test_from_xml_rejects_wrong_root():
+    with pytest.raises(ValueError):
+        ApplicationSchema.from_xml("<notASchema/>")
+
+
+def test_estimated_time_scales_with_speed():
+    schema = make_schema(est_exec_time=100.0, reference_speed=1.0)
+    assert schema.estimated_time_on(2.0) == pytest.approx(50.0)
+    assert schema.estimated_time_on(0.5) == pytest.approx(200.0)
+
+
+def test_estimated_completion():
+    schema = make_schema(est_exec_time=100.0)
+    assert schema.estimated_completion(40.0, 1.0) == pytest.approx(140.0)
+
+
+def test_estimated_time_invalid_speed():
+    with pytest.raises(ValueError):
+        make_schema().estimated_time_on(0)
+
+
+def test_first_run_sets_estimates():
+    schema = ApplicationSchema(name="fresh")
+    updated = schema.updated_from_run(80.0, cpu_speed=1.0,
+                                      actual_comm_bytes=12345)
+    assert updated.est_exec_time == pytest.approx(80.0)
+    assert updated.est_comm_bytes == 12345
+    assert updated.run_count == 1
+
+
+def test_feedback_smoothing():
+    schema = make_schema(est_exec_time=100.0, run_count=3)
+    updated = schema.updated_from_run(200.0, cpu_speed=1.0)
+    # 0.5 * 200 + 0.5 * 100
+    assert updated.est_exec_time == pytest.approx(150.0)
+    assert updated.run_count == 4
+
+
+def test_feedback_normalizes_speed():
+    schema = ApplicationSchema(name="x", reference_speed=1.0)
+    # 50 s on a 2x machine is 100 reference-seconds.
+    updated = schema.updated_from_run(50.0, cpu_speed=2.0)
+    assert updated.est_exec_time == pytest.approx(100.0)
+
+
+def test_feedback_immutable():
+    schema = make_schema()
+    schema.updated_from_run(10.0, cpu_speed=1.0)
+    assert schema.est_exec_time == 500.0  # original untouched
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ApplicationSchema(name="bad", est_exec_time=-1)
+    with pytest.raises(ValueError):
+        ApplicationSchema(name="bad", reference_speed=0)
+    with pytest.raises(ValueError):
+        ApplicationSchema(name="bad", data_locality=2.0)
+    with pytest.raises(ValueError):
+        make_schema().updated_from_run(-5, cpu_speed=1.0)
+
+
+def test_requirements_roundtrip_empty_features():
+    req = ResourceRequirements(min_memory_bytes=1)
+    schema = ApplicationSchema(name="r", requirements=req)
+    back = ApplicationSchema.from_xml(schema.to_xml())
+    assert back.requirements == req
+    assert back.requirements.features == ()

@@ -1,0 +1,87 @@
+"""Schema store: cross-run feedback (the self-adjustment extension)."""
+
+import pytest
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_1
+from repro.schema import ApplicationSchema, SchemaStore
+from repro.workloads import TestTreeApp
+
+PARAMS = {"levels": 9, "trees": 30, "node_cost": 2e-4, "seed": 4}
+
+
+def test_store_seed_and_get():
+    store = SchemaStore()
+    assert store.get("x") is None
+    schema = ApplicationSchema(name="x", est_exec_time=100.0)
+    store.seed(schema)
+    assert store.get("x") is schema
+    assert "x" in store and len(store) == 1
+
+
+def test_record_run_keeps_freshest():
+    store = SchemaStore()
+    old = ApplicationSchema(name="x", est_exec_time=10.0, run_count=2)
+    new = ApplicationSchema(name="x", est_exec_time=20.0, run_count=3)
+    store.record_run(new)
+    store.record_run(old)  # stale: ignored
+    assert store.get("x") is new
+
+
+def test_estimate_error():
+    store = SchemaStore()
+    assert store.estimate_error("x", 100.0) is None
+    store.seed(ApplicationSchema(name="x", est_exec_time=80.0))
+    assert store.estimate_error("x", 100.0) == pytest.approx(0.2)
+
+
+def run_once(store):
+    cluster = Cluster(n_hosts=1, seed=0)
+    rs = Rescheduler(cluster, policy=policy_1(),
+                     config=ReschedulerConfig(interval=10.0),
+                     schema_store=store)
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS)
+    cluster.env.run(until=app.done)
+    return app
+
+
+def test_estimates_converge_across_runs():
+    """The paper's self-adjustment: after a run, the stored schema's
+    estimated execution time matches observed reality."""
+    store = SchemaStore()
+    # Seed a badly wrong user estimate that counts as prior history
+    # (run_count > 0), so it is smoothed rather than replaced.
+    store.seed(ApplicationSchema(name="test_tree", est_exec_time=200.0,
+                                 run_count=1))
+    first = run_once(store)
+    actual = first.finished_at - first.started_at
+    error_after_one = store.estimate_error("test_tree", actual)
+    # One smoothing step: estimate ≈ (200 + actual) / 2.
+    assert 0.5 < error_after_one < 4.0
+    for _ in range(5):
+        run_once(store)
+    error_after_many = store.estimate_error("test_tree", actual)
+    assert error_after_many < 0.1
+    assert error_after_many < error_after_one
+    assert store.get("test_tree").run_count >= 6
+
+
+def test_fresh_user_estimate_replaced_by_first_run():
+    """A run_count=0 seed is a guess, not history: the first actual run
+    replaces it entirely."""
+    store = SchemaStore()
+    store.seed(ApplicationSchema(name="test_tree", est_exec_time=9999.0))
+    app = run_once(store)
+    actual = app.finished_at - app.started_at
+    assert store.estimate_error("test_tree", actual) < 0.01
+
+
+def test_caller_schema_overrides_store():
+    store = SchemaStore()
+    store.seed(ApplicationSchema(name="test_tree", est_exec_time=1.0))
+    cluster = Cluster(n_hosts=1, seed=0)
+    rs = Rescheduler(cluster, policy=policy_1(),
+                     config=ReschedulerConfig(interval=10.0),
+                     schema_store=store)
+    mine = ApplicationSchema(name="test_tree", est_exec_time=123.0)
+    app = rs.launch_app(TestTreeApp(), "ws1", params=PARAMS, schema=mine)
+    assert app.schema.est_exec_time == 123.0

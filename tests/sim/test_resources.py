@@ -1,0 +1,324 @@
+"""Unit tests for Store, FilterStore, Resource, Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def producer(env):
+        yield store.put("a")
+        yield env.timeout(1)
+        yield store.put("b")
+
+    def consumer(env):
+        item = yield store.get()
+        results.append((env.now, item))
+        item = yield store.get()
+        results.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert results == [(0, "a"), (1, "b")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def consumer(env):
+        item = yield store.get()
+        results.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert results == [(5, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer(env):
+        yield env.timeout(10)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put1", 0) in log
+    assert ("put2", 10) in log  # second put waited for the get
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put("x")
+        yield store.put("y")
+
+    env.process(producer(env))
+    env.run()
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------- FilterStore
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def producer(env):
+        yield store.put(("tag", 1, "hello"))
+        yield store.put(("tag", 2, "world"))
+
+    def consumer(env):
+        item = yield store.get(lambda m: m[1] == 2)
+        got.append(item)
+        item = yield store.get(lambda m: m[1] == 1)
+        got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [("tag", 2, "world"), ("tag", 1, "hello")]
+
+
+def test_filter_store_blocked_getter_does_not_stall_others():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def blocked(env):
+        item = yield store.get(lambda m: m == "never")
+        got.append(("blocked", item))
+
+    def eager(env):
+        item = yield store.get(lambda m: m == "yes")
+        got.append(("eager", item, env.now))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put("yes")
+
+    env.process(blocked(env))
+    env.process(eager(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [("eager", "yes", 1)]
+
+
+def test_filter_store_get_cancel():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env):
+        req = store.get(lambda m: m == "a")
+        req.cancel()
+        # A cancelled request never fires; the item goes to someone else.
+        item = yield store.get()
+        got.append(item)
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put("a")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == ["a"]
+
+
+# -------------------------------------------------------------- Resource
+def test_resource_mutual_exclusion():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        log.append((name, "in", env.now))
+        yield env.timeout(hold)
+        res.release(req)
+        log.append((name, "out", env.now))
+
+    env.process(user(env, "a", 5))
+    env.process(user(env, "b", 3))
+    env.run()
+    assert log == [
+        ("a", "in", 0),
+        ("a", "out", 5),
+        ("b", "in", 5),
+        ("b", "out", 8),
+    ]
+
+
+def test_resource_context_manager():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(2)
+        return res.count
+
+    p = env.process(user(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_resource_capacity_two():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    entered = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            entered.append((name, env.now))
+            yield env.timeout(10)
+
+    for name in "abc":
+        env.process(user(env, name))
+    env.run()
+    times = dict(entered)
+    assert times["a"] == 0 and times["b"] == 0 and times["c"] == 10
+
+
+def test_resource_queue_property():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def waiter(env):
+        with res.request() as req:
+            yield req
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=1)
+    assert len(res.queue) == 1
+    assert res.count == 1
+
+
+# -------------------------------------------------------------- Container
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+
+    def proc(env):
+        yield tank.get(30)
+        assert tank.level == 20
+        yield tank.put(60)
+        assert tank.level == 80
+
+    env.process(proc(env))
+    env.run()
+    assert tank.level == 80
+
+
+def test_container_get_blocks_until_enough():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    log = []
+
+    def getter(env):
+        yield tank.get(10)
+        log.append(env.now)
+
+    def putter(env):
+        yield env.timeout(3)
+        yield tank.put(5)
+        yield env.timeout(3)
+        yield tank.put(5)
+
+    env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert log == [6]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def putter(env):
+        yield tank.put(5)
+        log.append(env.now)
+
+    def getter(env):
+        yield env.timeout(4)
+        yield tank.get(5)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert log == [4]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=-1)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

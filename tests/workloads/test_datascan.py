@@ -1,0 +1,73 @@
+"""DataScanApp + end-to-end data-locality victim selection."""
+
+import pytest
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import CpuHog
+from repro.hpcm import launch
+from repro.mpi import MpiRuntime
+from repro.workloads import DataScanApp, TestTreeApp
+
+PARAMS = {"dataset_bytes": 4 * 2**20, "passes": 2,
+          "chunk_bytes": 2**20, "scan_rate": 1e6, "seed": 3}
+
+
+def test_scan_completes_with_expected_digest():
+    cluster = Cluster(n_hosts=1, seed=0)
+    mpi = MpiRuntime(cluster)
+    rt = launch(mpi, DataScanApp(), cluster["ws1"], params=PARAMS)
+    result = cluster.env.run(until=rt.done)
+    assert result == DataScanApp.expected_digest(PARAMS)
+    assert rt.status == "done"
+
+
+def test_scan_duration_scales_with_dataset():
+    def run(dataset):
+        cluster = Cluster(n_hosts=1, seed=0)
+        mpi = MpiRuntime(cluster)
+        params = dict(PARAMS, dataset_bytes=dataset)
+        rt = launch(mpi, DataScanApp(), cluster["ws1"], params=params)
+        cluster.env.run(until=rt.done)
+        return rt.finished_at
+
+    assert run(8 * 2**20) > 1.8 * run(4 * 2**20)
+
+
+def test_default_schema_marks_data_locality():
+    schema = DataScanApp().default_schema()
+    assert schema.data_locality > 0.5
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        DataScanApp().create_state({"passes": 0}, None)
+
+
+def test_locality_heavy_process_not_chosen_as_victim():
+    """Two migratable apps on the overloaded host: the scanner has
+    data_locality 0.9 and a *later* estimated completion (the selector
+    would normally prefer it); the locality filter makes the compute
+    app migrate instead."""
+    cluster = Cluster(n_hosts=3, seed=0)
+    rs = Rescheduler(
+        cluster, policy=policy_2(),
+        config=ReschedulerConfig(interval=10.0, sustain=3),
+    )
+    scan_params = {"dataset_bytes": 64 * 2**20, "passes": 20,
+                   "chunk_bytes": 4 * 2**20, "scan_rate": 2e6,
+                   "seed": 1}
+    tree_params = {"levels": 10, "trees": 120, "node_cost": 4e-4,
+                   "seed": 1}
+    scanner = rs.launch_app(DataScanApp(), "ws1", params=scan_params)
+    tree = rs.launch_app(TestTreeApp(), "ws1", params=tree_params)
+
+    def inject(env):
+        yield env.timeout(40)
+        CpuHog(cluster["ws1"], count=4, name="load")
+
+    cluster.env.process(inject(cluster.env))
+    cluster.env.run(until=tree.done)
+    assert tree.migration_count >= 1
+    assert tree.host.name != "ws1"
+    assert scanner.host.name == "ws1"  # stayed with its data
+    assert scanner.migrations == []
