@@ -6,7 +6,6 @@ how good the destination is; best fit finds the least-loaded host;
 random spreads load without state.
 """
 
-import pytest
 
 from repro.cluster import Cluster, CpuHog, DutyCycleLoad
 from repro.core import policy_2

@@ -6,7 +6,6 @@ per-state Monitoring Frequency is configurable.  Faster monitoring
 reacts sooner but costs more load.
 """
 
-import pytest
 
 from repro.analysis.overhead import _build_baseline
 from repro.cluster import Cluster, CpuHog

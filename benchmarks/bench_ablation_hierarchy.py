@@ -7,7 +7,6 @@ registry processes all N streams; two-level hierarchies split them and
 still find cross-domain destinations by escalation.
 """
 
-import pytest
 
 from repro.cluster import Cluster, CpuHog
 from repro.core import policy_2

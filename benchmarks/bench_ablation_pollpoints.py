@@ -7,7 +7,6 @@ price of more state-capture opportunities to keep consistent.  The
 paper measures 1.4 s to the nearest poll-point for test_tree.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.hpcm import MigrationOrder, launch

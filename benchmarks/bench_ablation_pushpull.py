@@ -8,7 +8,6 @@ chooses push with soft state.  Both models are implemented; this
 ablation compares traffic shape and end-to-end reaction time.
 """
 
-import pytest
 
 from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
 from repro.cluster import CpuHog

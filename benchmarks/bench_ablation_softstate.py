@@ -6,7 +6,6 @@ spot dead hosts quickly but cost bandwidth; long leases are cheap but
 a crashed host lingers in the table as a viable destination.
 """
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import policy_2

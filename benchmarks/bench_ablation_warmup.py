@@ -6,7 +6,6 @@ parameter of the rescheduler".  Short sustain reacts faster but
 migrates on transient spikes; long sustain is safe but slow.
 """
 
-import pytest
 
 from repro.cluster import Cluster, CpuHog
 from repro.core import policy_2

@@ -19,7 +19,7 @@ Timeline of the paper's run (10-second sample points):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster.background import CpuHog, DutyCycleLoad

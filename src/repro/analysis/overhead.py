@@ -15,7 +15,7 @@ Paper values: 1-minute load 0.256 → 0.266 (+3.9 %), 5-minute load
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..cluster.background import ChatterLoad, DutyCycleLoad
 from ..cluster.builder import Cluster

@@ -1,16 +1,20 @@
-"""Command-line interface: regenerate the paper's experiments.
+"""Command-line interface: experiments and configuration linting.
 
 ::
 
     python -m repro list
-    python -m repro fig5 [--seed N] [--out DIR]
-    python -m repro fig7 [--out DIR]
-    python -m repro table2 [--out DIR]
-    python -m repro all --out results/
+    python -m repro run fig5 [--seed N] [--out DIR]
+    python -m repro run table2 [--out DIR]
+    python -m repro run all --out results/
+    python -m repro lint examples/ [--format json] [--strict]
 
-Each command runs the corresponding §5 experiment, prints a
-paper-vs-measured table (and ASCII plots for the figures), and — with
-``--out`` — exports the raw series as CSV.
+``repro run`` regenerates a §5 experiment, prints a paper-vs-measured
+table (and ASCII plots for the figures), and — with ``--out`` —
+exports the raw series as CSV.  ``repro lint`` statically checks rule
+files, policy files and application schemas (see ``docs/linting.md``).
+
+The pre-subcommand spelling ``repro fig5`` still works through a
+back-compat shim.
 """
 
 from __future__ import annotations
@@ -168,14 +172,14 @@ def _all(args) -> int:
 
 def _list(args) -> int:
     print("available experiments:")
-    for name, fn in sorted(COMMANDS.items()):
-        if name not in ("list", "all"):
-            doc = (fn.__doc__ or "").strip() or name
+    for name in sorted(COMMANDS):
+        if name != "all":
             print(f"  {name}")
     print("  all    — run everything")
     return 0
 
 
+#: Experiment name → handler (the ``repro run`` subcommand).
 COMMANDS = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -184,32 +188,81 @@ COMMANDS = {
     "table1": _table1,
     "table2": _table2,
     "all": _all,
-    "list": _list,
 }
+
+
+def _run(args) -> int:
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    return COMMANDS[args.experiment](args)
+
+
+def _lint(args) -> int:
+    from .lint import (
+        LintUsageError, exit_code, lint_paths, render_json, render_text,
+    )
+
+    try:
+        diags = lint_paths(args.paths)
+    except LintUsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(diags))
+    return exit_code(diags, strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the experiments of 'A Runtime System "
-                    "for Autonomic Rescheduling of MPI Programs' "
-                    "(ICPP 2004).",
+        description="Reproduction toolkit for 'A Runtime System for "
+                    "Autonomic Rescheduling of MPI Programs' "
+                    "(ICPP 2004): experiments and config linting.",
     )
-    parser.add_argument("experiment", choices=sorted(COMMANDS),
-                        help="which experiment to run")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="random seed (default 0)")
-    parser.add_argument("--duration", type=float, default=3600.0,
-                        help="overhead-experiment horizon in simulated "
-                             "seconds (default 3600)")
-    parser.add_argument("--out", default=None,
-                        help="directory for CSV export")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="regenerate one of the paper's experiments"
+    )
+    run.add_argument("experiment", choices=sorted(COMMANDS),
+                     help="which experiment to run")
+    run.add_argument("--seed", type=int, default=0,
+                     help="random seed (default 0)")
+    run.add_argument("--duration", type=float, default=3600.0,
+                     help="overhead-experiment horizon in simulated "
+                          "seconds (default 3600)")
+    run.add_argument("--out", default=None,
+                     help="directory for CSV export (created if missing)")
+    run.set_defaults(func=_run)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check rule files, policies and app schemas",
+    )
+    lint.add_argument("paths", nargs="+",
+                      help="configuration files or directories")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="report format (default text)")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors")
+    lint.set_defaults(func=_lint)
+
+    lister = sub.add_parser("list", help="list available experiments")
+    lister.set_defaults(func=_list)
     return parser
 
 
+def _shim(argv: list) -> list:
+    """Back-compat: ``repro fig5 --seed 1`` → ``repro run fig5 --seed 1``."""
+    if argv and argv[0] in COMMANDS:
+        return ["run"] + argv
+    return argv
+
+
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return COMMANDS[args.experiment](args)
+    argv = sys.argv[1:] if argv is None else list(argv)
+    args = build_parser().parse_args(_shim(argv))
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,9 +5,13 @@ from .policy import (
     MetricPredicate,
     MigrationPolicy,
     PAPER_POLICIES,
+    load_policy_file,
     policy_1,
     policy_2,
     policy_3,
+    policy_from_dict,
+    policy_to_dict,
+    predicate_from_dict,
 )
 from .rescheduler import Rescheduler, ReschedulerConfig
 from .timeline import TraceEvent, build_timeline, format_timeline
@@ -22,7 +26,11 @@ __all__ = [
     "TraceEvent",
     "build_timeline",
     "format_timeline",
+    "load_policy_file",
     "policy_1",
     "policy_2",
     "policy_3",
+    "policy_from_dict",
+    "policy_to_dict",
+    "predicate_from_dict",
 ]

@@ -20,7 +20,7 @@ communication-busy workstation 2).
 from __future__ import annotations
 
 import operator as op_mod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from ..rules.model import ComplexRule, SimpleRule
@@ -78,6 +78,8 @@ class MigrationPolicy:
     source_guards: Tuple[MetricPredicate, ...] = ()
     #: All must hold on an eligible destination.
     dest_conditions: Tuple[MetricPredicate, ...] = ()
+    #: Destination-selection strategy name (``registry.strategies``).
+    strategy: str = "first_fit"
 
     def to_rules(self, base_number: int = 100) -> list:
         """Express the triggers in the paper's rule-file vocabulary.
@@ -125,6 +127,69 @@ class MigrationPolicy:
                 )
             )
         return rules
+
+
+# ------------------------------------------------------- (de)serialization
+def predicate_from_dict(d: dict) -> MetricPredicate:
+    """Build a predicate from ``{"metric": ..., "op": ..., "value": ...}``."""
+    try:
+        return MetricPredicate(
+            metric=str(d["metric"]), op=str(d["op"]), value=float(d["value"])
+        )
+    except KeyError as exc:
+        raise ValueError(f"predicate missing key {exc.args[0]!r}") from None
+
+
+def policy_from_dict(d: dict) -> MigrationPolicy:
+    """Build a policy from its JSON/dict form (``repro lint`` and user
+    policy files).  Accepts either the policy mapping itself or a
+    wrapper ``{"policy": {...}}``."""
+    if "policy" in d and isinstance(d["policy"], dict):
+        d = d["policy"]
+    unknown = set(d) - {
+        "name", "enabled", "triggers", "source_guards", "dest_conditions",
+        "strategy",
+    }
+    if unknown:
+        raise ValueError(f"unknown policy keys: {sorted(unknown)}")
+    return MigrationPolicy(
+        name=str(d.get("name", "unnamed")),
+        enabled=bool(d.get("enabled", True)),
+        triggers=tuple(predicate_from_dict(p) for p in d.get("triggers", ())),
+        source_guards=tuple(
+            predicate_from_dict(p) for p in d.get("source_guards", ())
+        ),
+        dest_conditions=tuple(
+            predicate_from_dict(p) for p in d.get("dest_conditions", ())
+        ),
+        strategy=str(d.get("strategy", "first_fit")),
+    )
+
+
+def policy_to_dict(policy: MigrationPolicy) -> dict:
+    """Inverse of :func:`policy_from_dict` (round-trip stable)."""
+
+    def preds(ps):
+        return [
+            {"metric": p.metric, "op": p.op, "value": p.value} for p in ps
+        ]
+
+    return {
+        "name": policy.name,
+        "enabled": policy.enabled,
+        "triggers": preds(policy.triggers),
+        "source_guards": preds(policy.source_guards),
+        "dest_conditions": preds(policy.dest_conditions),
+        "strategy": policy.strategy,
+    }
+
+
+def load_policy_file(path: str) -> MigrationPolicy:
+    """Read a ``*.policy.json`` file into a :class:`MigrationPolicy`."""
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        return policy_from_dict(json.load(fh))
 
 
 def policy_1() -> MigrationPolicy:

@@ -19,7 +19,7 @@ Implementations subclass :class:`MigratableApp`:
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional
+from typing import Any
 
 from ..schema import ApplicationSchema
 

@@ -7,7 +7,7 @@ is location-transparent (the whole point of the middleware).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 
 class AppContext:

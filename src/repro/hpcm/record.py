@@ -9,7 +9,7 @@ completion (~7.5 s).  Every migration produces one record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -35,7 +35,6 @@ from ..mpi.runtime import MpiRuntime
 from ..schema import ApplicationSchema
 from .app import MigratableApp
 from .context import AppContext
-from .errors import MigrationFailed
 from .record import MigrationOrder, MigrationRecord
 from . import statexfer
 

@@ -1,0 +1,45 @@
+"""``repro lint`` — static analysis for rules, policies and schemas.
+
+Catches the configuration errors that otherwise only surface at
+runtime, mid-migration: typo'd ``rN`` references, cyclic complex
+rules, contradictory thresholds, ping-pong policies, unsatisfiable
+destination conditions, and schemas no configured host can host.
+See ``docs/linting.md`` for the full diagnostic catalogue.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    JSON_REPORT_VERSION,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    summarize,
+)
+from .policylint import METRIC_DOMAINS, lint_policy
+from .rulelint import SCRIPT_DOMAINS, lint_rule_text, lint_ruleset
+from .runner import LintUsageError, classify_file, collect_files, lint_paths
+from .schemalint import HostClass, lint_schema
+
+__all__ = [
+    "Diagnostic",
+    "HostClass",
+    "JSON_REPORT_VERSION",
+    "LintUsageError",
+    "METRIC_DOMAINS",
+    "SCRIPT_DOMAINS",
+    "Severity",
+    "classify_file",
+    "collect_files",
+    "exit_code",
+    "lint_paths",
+    "lint_policy",
+    "lint_rule_text",
+    "lint_ruleset",
+    "lint_schema",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "summarize",
+]

@@ -1,0 +1,179 @@
+"""Static analysis of migration policies (diagnostics ``P101``–``P106``).
+
+A policy is trigger/guard/destination predicates over monitor metrics
+(paper §5.3).  Each predicate cuts an interval out of the metric's
+value domain; interval arithmetic then answers the questions that
+otherwise only surface mid-migration:
+
+======  =========  =====================================================
+code    severity   finding
+======  =========  =====================================================
+P100    error      policy file cannot be loaded (runner-assigned)
+P101    error      ping-pong: an eligible destination can simultaneously
+                   satisfy a source trigger, so the migrated process
+                   immediately wants to move again
+P102    error      unsatisfiable destination condition(s)
+P103    error      unknown destination-selection strategy
+P104    error      unsatisfiable source guard(s): triggers fire but no
+                   migration can ever be allowed
+P106    warning    a trigger can never fire within the metric's domain
+======  =========  =====================================================
+
+Malleability studies (DMR; Resource Optimization with MPI Process
+Malleability) single out oscillating reconfiguration as the costliest
+misconfiguration — P101 is the static form of that check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..core.policy import KNOWN_METRICS, MetricPredicate, MigrationPolicy
+from ..registry.strategies import STRATEGIES
+from .diagnostics import Diagnostic, Severity
+
+#: Metric value domains; percentages are bounded, the rest are
+#: non-negative and unbounded above.
+METRIC_DOMAINS: Dict[str, Tuple[float, float]] = {
+    metric: (0.0, 100.0) if metric.endswith("_pct") or metric == "cpu_util"
+    else (0.0, math.inf)
+    for metric in KNOWN_METRICS
+}
+
+#: Interval: (lo, lo_inclusive, hi, hi_inclusive).
+_Interval = Tuple[float, bool, float, bool]
+
+_FULL: _Interval = (-math.inf, False, math.inf, False)
+
+
+def _interval(pred: MetricPredicate) -> _Interval:
+    if pred.op == "<":
+        return (-math.inf, False, pred.value, False)
+    if pred.op == "<=":
+        return (-math.inf, False, pred.value, True)
+    if pred.op == ">":
+        return (pred.value, False, math.inf, False)
+    return (pred.value, True, math.inf, False)
+
+
+def _domain(metric: str) -> _Interval:
+    lo, hi = METRIC_DOMAINS.get(metric, (-math.inf, math.inf))
+    return (lo, True, hi, True)
+
+
+def _intersect(a: _Interval, b: _Interval) -> _Interval:
+    # Pick the tighter bound on each side; on ties an exclusive bound wins.
+    if a[0] > b[0]:
+        lo, lo_inc = a[0], a[1]
+    elif b[0] > a[0]:
+        lo, lo_inc = b[0], b[1]
+    else:
+        lo, lo_inc = a[0], a[1] and b[1]
+    if a[2] < b[2]:
+        hi, hi_inc = a[2], a[3]
+    elif b[2] < a[2]:
+        hi, hi_inc = b[2], b[3]
+    else:
+        hi, hi_inc = a[2], a[3] and b[3]
+    return (lo, lo_inc, hi, hi_inc)
+
+
+def _empty(iv: _Interval) -> bool:
+    lo, lo_inc, hi, hi_inc = iv
+    if lo > hi:
+        return True
+    if lo == hi:
+        return not (lo_inc and hi_inc)
+    return False
+
+
+def _render(iv: _Interval) -> str:
+    lo, lo_inc, hi, hi_inc = iv
+    left = "[" if lo_inc else "("
+    right = "]" if hi_inc else ")"
+    return f"{left}{lo:g}, {hi:g}{right}"
+
+
+def _conjunction(
+    preds, metric: str
+) -> _Interval:
+    """Feasible region for ``metric`` under all predicates that name it."""
+    region = _intersect(_FULL, _domain(metric))
+    for pred in preds:
+        if pred.metric == metric:
+            region = _intersect(region, _interval(pred))
+    return region
+
+
+def lint_policy(
+    policy: MigrationPolicy, filename: Optional[str] = None
+) -> List[Diagnostic]:
+    """Lint one policy object."""
+    diags: List[Diagnostic] = []
+
+    def report(code, message, severity=Severity.ERROR):
+        diags.append(Diagnostic(
+            code=code, severity=severity, message=message, file=filename,
+            obj=policy.name,
+        ))
+
+    if policy.strategy not in STRATEGIES:
+        report(
+            "P103",
+            f"unknown strategy {policy.strategy!r} "
+            f"(available: {', '.join(sorted(STRATEGIES))})",
+        )
+
+    if not policy.enabled:
+        return diags  # a no-migration policy has nothing to trigger
+
+    # P102: destination conditions must admit at least one host state.
+    for metric in sorted({p.metric for p in policy.dest_conditions}):
+        region = _conjunction(policy.dest_conditions, metric)
+        if _empty(region):
+            report(
+                "P102",
+                f"destination conditions on {metric} are unsatisfiable "
+                f"within its domain {_render(_domain(metric))}",
+            )
+
+    # P104: same for the source guards.
+    for metric in sorted({p.metric for p in policy.source_guards}):
+        region = _conjunction(policy.source_guards, metric)
+        if _empty(region):
+            report(
+                "P104",
+                f"source guards on {metric} are unsatisfiable: triggers "
+                f"may fire but migration can never be allowed",
+            )
+
+    # P101/P106: each trigger against the destination region.
+    for trig in policy.triggers:
+        trig_region = _intersect(_interval(trig), _domain(trig.metric))
+        if _empty(trig_region):
+            report(
+                "P106",
+                f"trigger '{trig}' can never fire within the metric "
+                f"domain {_render(_domain(trig.metric))}",
+                severity=Severity.WARNING,
+            )
+            continue
+        dest_region = _conjunction(policy.dest_conditions, trig.metric)
+        overlap = _intersect(trig_region, dest_region)
+        if not _empty(overlap):
+            bounded = any(
+                p.metric == trig.metric for p in policy.dest_conditions
+            )
+            detail = (
+                f"hosts with {trig.metric} in {_render(overlap)} are "
+                f"eligible destinations yet already satisfy the source "
+                f"trigger '{trig}'"
+            )
+            if not bounded:
+                detail += (
+                    " (no destination condition bounds "
+                    f"{trig.metric} at all)"
+                )
+            report("P101", f"migration ping-pong: {detail}")
+    return diags

@@ -1,0 +1,193 @@
+"""The lint driver: file discovery, dispatch, orchestration.
+
+``repro lint <paths...>`` walks the given files/directories, decides
+what each configuration file is, and routes it to the matching
+analyzer:
+
+* rule files — ``*.rules``, or any text file whose body contains an
+  ``rl_number:`` line → :mod:`.rulelint`;
+* application schemas — ``*.xml`` with an ``applicationSchema`` root
+  → :mod:`.schemalint`;
+* policies — ``*.json`` carrying a ``policy`` object (or
+  triggers/dest_conditions keys) → :mod:`.policylint`;
+* cluster descriptions — ``*.json`` with a ``host_classes`` list,
+  collected first so every schema in the same lint run is checked
+  against them (S201).
+
+Everything else (e.g. the ``examples/*.py`` scripts) is skipped.
+Driver-level problems use the ``Lxxx`` codes: ``L001`` unreadable
+file, ``L002`` invalid JSON, ``L003`` nothing lintable found.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import xml.etree.ElementTree as ET
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.policy import policy_from_dict
+from ..schema import ApplicationSchema
+from .diagnostics import Diagnostic, Severity, sort_diagnostics
+from .policylint import lint_policy
+from .rulelint import lint_rule_text
+from .schemalint import HostClass, lint_schema
+
+
+class LintUsageError(Exception):
+    """Bad invocation (missing path, …); the CLI maps this to exit 2."""
+
+
+_RULE_EXTENSIONS = (".rules", ".rule")
+_SKIP_EXTENSIONS = (
+    ".py", ".pyc", ".md", ".rst", ".txt", ".csv", ".toml", ".cfg",
+    ".ini", ".yml", ".yaml", ".sh", ".lock",
+)
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted candidate-file list."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if not name.startswith("."):
+                        found.append(os.path.join(dirpath, name))
+        elif os.path.exists(path):
+            found.append(path)
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+    return found
+
+
+def classify_file(path: str, text: str) -> Optional[str]:
+    """What kind of configuration is this?  One of ``'rules'``,
+    ``'schema'``, ``'policy'``, ``'cluster'`` — or ``None`` (skip)."""
+    lower = path.lower()
+    if lower.endswith(_RULE_EXTENSIONS):
+        return "rules"
+    if lower.endswith(_SKIP_EXTENSIONS):
+        return None
+    if lower.endswith(".xml"):
+        return "schema"
+    if lower.endswith(".json"):
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return "json"  # routed to an L002 diagnostic
+        if isinstance(doc, dict):
+            if "host_classes" in doc:
+                return "cluster"
+            if "policy" in doc or {"triggers", "dest_conditions",
+                                   "source_guards"} & set(doc):
+                return "policy"
+        return None
+    # Extension tells us nothing: sniff for the paper's rl_* format.
+    if "rl_number" in text:
+        return "rules"
+    return None
+
+
+def _read(path: str, diags: List[Diagnostic]) -> Optional[str]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        diags.append(Diagnostic(
+            code="L001", severity=Severity.ERROR,
+            message=f"cannot read file: {exc}", file=path,
+        ))
+        return None
+
+
+def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Lint every configuration under ``paths``; returns all findings."""
+    if not paths:
+        raise LintUsageError("no paths given")
+    files = collect_files(paths)
+
+    diags: List[Diagnostic] = []
+    work: List[Tuple[str, str, str]] = []  # (kind, path, text)
+    host_classes: List[HostClass] = []
+
+    for path in files:
+        text = _read(path, diags)
+        if text is None:
+            continue
+        kind = classify_file(path, text)
+        if kind is None:
+            continue
+        if kind == "json":
+            diags.append(Diagnostic(
+                code="L002", severity=Severity.ERROR,
+                message="invalid JSON", file=path,
+            ))
+            continue
+        if kind == "cluster":
+            try:
+                classes = [
+                    HostClass.from_dict(d)
+                    for d in json.loads(text)["host_classes"]
+                ]
+            except (ValueError, TypeError, KeyError) as exc:
+                diags.append(Diagnostic(
+                    code="L002", severity=Severity.ERROR,
+                    message=f"bad cluster description: {exc}", file=path,
+                ))
+                continue
+            host_classes.extend(classes)
+            continue
+        work.append((kind, path, text))
+
+    if not work and not host_classes and not diags:
+        diags.append(Diagnostic(
+            code="L003", severity=Severity.WARNING,
+            message="no lintable configuration files found",
+            file=paths[0],
+        ))
+
+    for kind, path, text in work:
+        if kind == "rules":
+            diags.extend(lint_rule_text(text, filename=path))
+        elif kind == "schema":
+            diags.extend(_lint_schema_file(path, text, host_classes))
+        elif kind == "policy":
+            diags.extend(_lint_policy_file(path, text))
+    return sort_diagnostics(diags)
+
+
+def _lint_schema_file(
+    path: str, text: str, host_classes: Iterable[HostClass]
+) -> List[Diagnostic]:
+    try:
+        root_tag = ET.fromstring(text).tag
+    except ET.ParseError as exc:
+        return [Diagnostic(
+            code="S200", severity=Severity.ERROR,
+            message=f"invalid XML: {exc}", file=path,
+        )]
+    if root_tag != "applicationSchema":
+        return []  # some other XML; not ours to judge
+    try:
+        schema = ApplicationSchema.from_xml(text)
+    except ValueError as exc:
+        return [Diagnostic(
+            code="S200", severity=Severity.ERROR,
+            message=f"invalid application schema: {exc}", file=path,
+        )]
+    return lint_schema(schema, tuple(host_classes), filename=path)
+
+
+def _lint_policy_file(path: str, text: str) -> List[Diagnostic]:
+    try:
+        policy = policy_from_dict(json.loads(text))
+    except ValueError as exc:
+        return [Diagnostic(
+            code="P100", severity=Severity.ERROR,
+            message=f"cannot load policy: {exc}", file=path,
+        )]
+    return lint_policy(policy, filename=path)

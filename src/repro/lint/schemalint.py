@@ -1,0 +1,121 @@
+"""Static analysis of application schemas (diagnostics ``S200``–``S203``).
+
+The XML application schema (paper §3.3) travels with a migratable
+process; a schema whose resource requirements no host can meet, or
+that declares no poll-points, produces a process the registry can
+never place or HPCM can never capture — findable before launch:
+
+======  =========  =====================================================
+code    severity   finding
+======  =========  =====================================================
+S200    error      schema file is not readable/valid XML
+S201    error      resource requirements no configured host class meets
+S202    error      schema declares **zero** poll-points (warning when
+                   poll-points are simply undeclared)
+S203    warning    undeclared transfer data: the app is migratable but
+                   ``estCommBytes`` is 0, so migration cost is unknown
+======  =========  =====================================================
+
+``S201`` needs the cluster's host classes; the lint driver collects
+them from ``*.json`` files bearing a top-level ``host_classes`` list
+(see ``examples/configs/cluster.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..schema import ApplicationSchema
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class HostClass:
+    """One class of interchangeable hosts a cluster offers."""
+
+    name: str
+    count: int = 1
+    cpu_speed: float = 1.0
+    mem_bytes: int = 0
+    disk_bytes: int = 0
+    features: tuple = ()
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "HostClass":
+        unknown = set(d) - {
+            "name", "count", "cpu_speed", "mem_bytes", "disk_bytes",
+            "features",
+        }
+        if unknown:
+            raise ValueError(f"unknown host-class keys: {sorted(unknown)}")
+        return cls(
+            name=str(d.get("name", "unnamed")),
+            count=int(d.get("count", 1)),
+            cpu_speed=float(d.get("cpu_speed", 1.0)),
+            mem_bytes=int(d.get("mem_bytes", 0)),
+            disk_bytes=int(d.get("disk_bytes", 0)),
+            features=tuple(d.get("features", ())),
+        )
+
+    def meets(self, schema: ApplicationSchema) -> bool:
+        req = schema.requirements
+        return (
+            self.cpu_speed >= req.min_cpu_speed
+            and self.mem_bytes >= req.min_memory_bytes
+            and self.disk_bytes >= req.min_disk_bytes
+            and set(req.features) <= set(self.features)
+        )
+
+
+def lint_schema(
+    schema: ApplicationSchema,
+    host_classes: Sequence[HostClass] = (),
+    filename: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Lint one application schema against the configured host classes."""
+    diags: List[Diagnostic] = []
+
+    def report(code, message, severity=Severity.ERROR):
+        diags.append(Diagnostic(
+            code=code, severity=severity, message=message, file=filename,
+            obj=schema.name or None,
+        ))
+
+    if host_classes:
+        fitting = [hc for hc in host_classes if hc.meets(schema)]
+        if not fitting:
+            req = schema.requirements
+            report(
+                "S201",
+                f"no configured host class meets the requirements "
+                f"(cpu_speed >= {req.min_cpu_speed:g}, memory >= "
+                f"{req.min_memory_bytes}, disk >= {req.min_disk_bytes}, "
+                f"features {sorted(req.features)}); classes checked: "
+                f"{', '.join(hc.name for hc in host_classes)}",
+            )
+
+    if schema.poll_points == 0:
+        report(
+            "S202",
+            "schema declares zero poll-points: HPCM can never capture "
+            "state, so the application can never migrate",
+        )
+    elif schema.poll_points is None:
+        report(
+            "S202",
+            "schema does not declare poll-points; add <pollPoints> so "
+            "migratability is auditable",
+            severity=Severity.WARNING,
+        )
+
+    migratable = schema.poll_points is not None and schema.poll_points > 0
+    if migratable and schema.est_comm_bytes == 0:
+        report(
+            "S203",
+            "undeclared transfer data: the application is migratable "
+            "but estCommBytes is 0, so state-transfer cost is unknown "
+            "to the scheduler",
+            severity=Severity.WARNING,
+        )
+    return diags

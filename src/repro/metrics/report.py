@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
-import numpy as np
 
 from .timeseries import TimeSeries
 

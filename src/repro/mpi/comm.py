@@ -13,7 +13,6 @@ simulated communication cost scales realistically.
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, Optional
 
 from .errors import DeadProcessError, MpiError, RankError, SpawnError

@@ -10,7 +10,7 @@ not survive a real wire.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from ..sim.resources import Store
 from . import messages

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 import xml.etree.ElementTree as ET
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..protocol.messages import (

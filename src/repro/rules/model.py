@@ -11,7 +11,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-_VALID_OPERATORS = ("<", ">", "<=", ">=")
+VALID_OPERATORS = ("<", ">", "<=", ">=")
+#: Backwards-compatible alias (pre-lint name).
+_VALID_OPERATORS = VALID_OPERATORS
+
+
+def threshold_error(
+    name: str, operator: str, busy: float, overloaded: float
+) -> Optional[str]:
+    """The single threshold-sanity checker shared by the runtime model
+    and ``repro lint`` (diagnostic R006).
+
+    Returns a human-readable problem description, or ``None`` when the
+    operator/busy/overLd combination is sound: the operator must be
+    known, and for ``<``-style rules the overloaded cutoff must not
+    exceed the busy cutoff (vice versa for ``>``), otherwise the state
+    ladder free → busy → overloaded cannot be climbed in order.
+    """
+    if operator not in VALID_OPERATORS:
+        return (
+            f"rule {name!r}: unsupported operator {operator!r} "
+            f"(allowed: {VALID_OPERATORS})"
+        )
+    if operator.startswith("<") and overloaded > busy:
+        return f"rule {name!r}: with '<', rl_overLd must be <= rl_busy"
+    if operator.startswith(">") and overloaded < busy:
+        return f"rule {name!r}: with '>', rl_overLd must be >= rl_busy"
+    return None
 
 
 @dataclass(frozen=True)
@@ -31,21 +57,11 @@ class SimpleRule:
     param: str = ""
 
     def __post_init__(self):
-        if self.operator not in _VALID_OPERATORS:
-            raise ValueError(
-                f"rule {self.name!r}: unsupported operator "
-                f"{self.operator!r} (allowed: {_VALID_OPERATORS})"
-            )
-        # Threshold ordering sanity: for '<' style rules the overloaded
-        # cutoff must not exceed the busy cutoff, and vice versa.
-        if self.operator.startswith("<") and self.overloaded > self.busy:
-            raise ValueError(
-                f"rule {self.name!r}: with '<', rl_overLd must be <= rl_busy"
-            )
-        if self.operator.startswith(">") and self.overloaded < self.busy:
-            raise ValueError(
-                f"rule {self.name!r}: with '>', rl_overLd must be >= rl_busy"
-            )
+        problem = threshold_error(
+            self.name, self.operator, self.busy, self.overloaded
+        )
+        if problem is not None:
+            raise ValueError(problem)
 
     @property
     def rule_type(self) -> str:

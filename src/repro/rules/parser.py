@@ -26,13 +26,80 @@ expression in ``rl_script``::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
 
 from .model import ComplexRule, RuleSet, SimpleRule
 
 
 class RuleParseError(ValueError):
     """The rule file is malformed."""
+
+
+@dataclass
+class RuleBlock:
+    """One raw ``rl_*`` block plus where its lines live in the file.
+
+    The strict parser only needs :attr:`fields`; ``repro lint`` uses
+    the line map to attach diagnostics to source locations.
+    """
+
+    fields: dict = field(default_factory=dict)
+    #: Line number of the block's ``rl_number`` line (or first line).
+    start_line: int = 0
+    #: key → line number, for per-field diagnostics.
+    lines: dict = field(default_factory=dict)
+
+    def line_of(self, key: str) -> int:
+        return self.lines.get(key, self.start_line)
+
+
+def scan_blocks(
+    text: str, errors: Optional[List[Tuple[int, str]]] = None
+) -> List[RuleBlock]:
+    """Split a rule file into raw :class:`RuleBlock`\\ s.
+
+    Line-level problems (missing ``:``, non-``rl_`` keys, duplicate
+    keys within one block) raise :class:`RuleParseError` — unless an
+    ``errors`` list is supplied, in which case they are appended as
+    ``(lineno, message)`` and scanning continues (the lint pass wants
+    every problem, not just the first).
+    """
+
+    def problem(lineno: int, message: str) -> None:
+        if errors is None:
+            raise RuleParseError(f"line {lineno}: {message}")
+        errors.append((lineno, message))
+
+    blocks: List[RuleBlock] = []
+    current: Optional[RuleBlock] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            problem(lineno, "expected 'key: value'")
+            continue
+        key, _, value = line.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if not key.startswith("rl_"):
+            problem(lineno, f"unknown key {key!r} (must start with rl_)")
+            continue
+        if key == "rl_number":
+            if current is not None:
+                blocks.append(current)
+            current = RuleBlock(start_line=lineno)
+        if current is None:
+            current = RuleBlock(start_line=lineno)
+        if key in current.fields:
+            problem(lineno, f"duplicate key {key!r} within one rule")
+            continue
+        current.fields[key] = value
+        current.lines[key] = lineno
+    if current is not None:
+        blocks.append(current)
+    return blocks
 
 
 def parse_rule_file(text: str) -> RuleSet:
@@ -45,33 +112,7 @@ def parse_rule_file(text: str) -> RuleSet:
 
 def parse_rules(text: str) -> List[Union[SimpleRule, ComplexRule]]:
     """Parse the raw ``rl_*`` blocks into rule objects."""
-    blocks: List[dict] = []
-    current: dict = {}
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        if ":" not in line:
-            raise RuleParseError(f"line {lineno}: expected 'key: value'")
-        key, _, value = line.partition(":")
-        key = key.strip()
-        value = value.strip()
-        if not key.startswith("rl_"):
-            raise RuleParseError(
-                f"line {lineno}: unknown key {key!r} (must start with rl_)"
-            )
-        if key == "rl_number":
-            if current:
-                blocks.append(current)
-            current = {}
-        if key in current:
-            raise RuleParseError(
-                f"line {lineno}: duplicate key {key!r} within one rule"
-            )
-        current[key] = value
-    if current:
-        blocks.append(current)
-    return [_build(block) for block in blocks]
+    return [_build(block.fields) for block in scan_blocks(text)]
 
 
 def _require(block: dict, key: str) -> str:
@@ -82,8 +123,19 @@ def _require(block: dict, key: str) -> str:
         raise RuleParseError(f"rule {name}: missing {key}") from None
 
 
+def _numeric(block: dict, key: str, convert) -> float:
+    value = _require(block, key)
+    try:
+        return convert(value)
+    except ValueError:
+        name = block.get("rl_name", block.get("rl_number", "?"))
+        raise RuleParseError(
+            f"rule {name}: {key} must be numeric, got {value!r}"
+        ) from None
+
+
 def _build(block: dict) -> Union[SimpleRule, ComplexRule]:
-    number = int(_require(block, "rl_number"))
+    number = int(_numeric(block, "rl_number", int))
     name = _require(block, "rl_name")
     rtype = block.get("rl_type", "simple").lower()
     if rtype == "simple":
@@ -92,15 +144,20 @@ def _build(block: dict) -> Union[SimpleRule, ComplexRule]:
             name=name,
             script=_require(block, "rl_script"),
             operator=_require(block, "rl_operator"),
-            busy=float(_require(block, "rl_busy")),
-            overloaded=float(_require(block, "rl_overLd")),
+            busy=_numeric(block, "rl_busy", float),
+            overloaded=_numeric(block, "rl_overLd", float),
             description=block.get("rl_desc", ""),
             param=block.get("rl_param", ""),
         )
     if rtype == "complex":
-        rule_numbers = tuple(
-            int(tok) for tok in block.get("rl_ruleNo", "").split()
-        )
+        tokens = block.get("rl_ruleNo", "").split()
+        try:
+            rule_numbers = tuple(int(tok) for tok in tokens)
+        except ValueError:
+            raise RuleParseError(
+                f"rule {name}: rl_ruleNo must list rule numbers, "
+                f"got {block['rl_ruleNo']!r}"
+            ) from None
         return ComplexRule(
             number=number,
             name=name,

@@ -83,6 +83,9 @@ class ApplicationSchema:
     data_locality: float = 0.0
     #: Number of completed runs folded into the estimates.
     run_count: int = 0
+    #: Declared number of poll-points per run (HPCM can only capture
+    #: state at poll-points); ``None`` means the schema does not say.
+    poll_points: Optional[int] = None
 
     def __post_init__(self):
         if self.est_comm_bytes < 0 or self.est_exec_time < 0:
@@ -91,6 +94,8 @@ class ApplicationSchema:
             raise ValueError("reference speed must be positive")
         if not 0 <= self.data_locality <= 1:
             raise ValueError("data_locality must lie in [0, 1]")
+        if self.poll_points is not None and self.poll_points < 0:
+            raise ValueError("poll_points must be non-negative")
 
     # -- estimates ------------------------------------------------------
     def estimated_time_on(self, cpu_speed: float) -> float:
@@ -158,6 +163,8 @@ class ApplicationSchema:
         )
         ET.SubElement(root, "dataLocality").text = repr(self.data_locality)
         ET.SubElement(root, "runCount").text = str(self.run_count)
+        if self.poll_points is not None:
+            ET.SubElement(root, "pollPoints").text = str(self.poll_points)
         root.append(self.requirements.to_element())
         return ET.tostring(root, encoding="unicode")
 
@@ -179,6 +186,11 @@ class ApplicationSchema:
             reference_speed=float(root.findtext("referenceSpeed", "1")),
             data_locality=float(root.findtext("dataLocality", "0")),
             run_count=int(root.findtext("runCount", "0")),
+            poll_points=(
+                int(root.findtext("pollPoints"))
+                if root.findtext("pollPoints") is not None
+                else None
+            ),
             requirements=(
                 ResourceRequirements.from_element(req_elem)
                 if req_elem is not None

@@ -30,7 +30,6 @@ from .events import (
     URGENT,
     AllOf,
     AnyOf,
-    Condition,
     Event,
     Process,
     Timeout,

@@ -8,7 +8,6 @@ job whose other ranks keep computing.
 
 from __future__ import annotations
 
-import operator
 from dataclasses import dataclass, field
 from typing import Any
 

@@ -2,7 +2,6 @@
 
 import csv
 
-import pytest
 
 from repro.analysis import export_series, export_table2
 from repro.analysis.policies import PolicyRunResult

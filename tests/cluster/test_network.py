@@ -1,6 +1,5 @@
 """Network model: transfers, fair sharing, streams, CPU coupling."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.commander import Commander

@@ -54,3 +54,41 @@ def test_unknown_experiment_rejected():
 def test_seed_flag_changes_nothing_structural(capsys):
     assert main(["table1", "--seed", "3"]) == 0
     assert "Table 1" in capsys.readouterr().out
+
+
+# ------------------------------------------------- subcommand interface
+def test_run_subcommand(capsys):
+    assert main(["run", "table1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_backcompat_shim_maps_bare_experiment(capsys):
+    # `repro table1 --seed 1` keeps working as `repro run table1 --seed 1`.
+    assert main(["table1", "--seed", "1"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "warp"])
+
+
+def test_no_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_out_directory_is_created(tmp_path, capsys):
+    target = tmp_path / "deeply" / "nested"
+    assert main(["run", "table2", "--out", str(target)]) == 0
+    assert (target / "table2.csv").exists()
+
+
+def test_lint_subcommand_wired(tmp_path, capsys):
+    rules = tmp_path / "ok.rules"
+    rules.write_text(
+        "rl_number: 1\nrl_name: load\nrl_type: simple\n"
+        "rl_script: loadAvg.sh\nrl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+    )
+    assert main(["lint", str(rules)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out

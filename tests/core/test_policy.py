@@ -4,12 +4,11 @@ import pytest
 
 from repro.core import (
     MetricPredicate,
-    MigrationPolicy,
     policy_1,
     policy_2,
     policy_3,
 )
-from repro.rules import ComplexRule, SimpleRule
+from repro.rules import ComplexRule
 
 
 def test_predicate_operators():

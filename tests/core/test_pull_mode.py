@@ -29,7 +29,7 @@ def test_pull_mode_populates_table():
 def test_pull_monitor_is_silent_without_queries():
     """In pull mode a monitor never volunteers a report."""
     from repro.monitor import Monitor
-    from repro.protocol import Endpoint, EndpointRegistry, StatusUpdate
+    from repro.protocol import Endpoint, EndpointRegistry
 
     cluster = Cluster(n_hosts=2, seed=0)
     directory = EndpointRegistry()

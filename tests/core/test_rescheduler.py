@@ -4,8 +4,6 @@ import pytest
 
 from repro import (
     Cluster,
-    MetricPredicate,
-    MigrationPolicy,
     Rescheduler,
     ReschedulerConfig,
     policy_1,

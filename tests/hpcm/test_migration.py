@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster, CpuHog
-from repro.hpcm import HpcmRuntime, MigrationOrder, launch, launch_world
+from repro.hpcm import MigrationOrder, launch, launch_world
 from repro.mpi import MpiRuntime
 from repro.workloads import MonteCarloPiApp, TestTreeApp
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import Cluster
-from repro.hpcm import HpcmRuntime, MigrationOrder, launch
+from repro.hpcm import MigrationOrder, launch
 from repro.mpi import MpiRuntime
 from repro.workloads import TestTreeApp
 

@@ -1,0 +1,22 @@
+"""Shared paths for the lint test suite."""
+
+import os
+
+import pytest
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+EXAMPLES = os.path.join(REPO_ROOT, "examples")
+
+
+@pytest.fixture
+def fixtures():
+    return FIXTURES
+
+
+@pytest.fixture
+def fixture_path():
+    def path_of(name):
+        return os.path.join(FIXTURES, name)
+
+    return path_of

@@ -1,0 +1,80 @@
+"""The diagnostic framework: reporters, ordering, exit codes."""
+
+import json
+
+from repro.lint import (
+    Diagnostic,
+    JSON_REPORT_VERSION,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    summarize,
+)
+
+
+def _diag(code="R001", severity=Severity.ERROR, **kw):
+    defaults = dict(message="boom", file="a.rules", line=3, obj="load")
+    defaults.update(kw)
+    return Diagnostic(code=code, severity=severity, **defaults)
+
+
+def test_render_text_line_format():
+    text = render_text([_diag()])
+    assert "a.rules:3: error R001: boom [load]" in text
+    assert "1 error(s), 0 warning(s), 0 info(s)" in text
+
+
+def test_render_text_without_location():
+    d = Diagnostic(code="P101", severity=Severity.WARNING, message="m",
+                   file=None, line=None, obj=None)
+    assert d.render() == "<input>: warning P101: m"
+
+
+def test_json_report_is_schema_stable():
+    doc = json.loads(render_json([
+        _diag(),
+        _diag(code="S203", severity=Severity.WARNING, line=None),
+    ]))
+    assert doc["version"] == JSON_REPORT_VERSION
+    assert doc["summary"] == {"errors": 1, "warnings": 1, "infos": 0}
+    assert len(doc["diagnostics"]) == 2
+    for entry in doc["diagnostics"]:
+        # The exact key set AND order is the JSON contract.
+        assert list(entry) == [
+            "code", "severity", "file", "line", "object", "message",
+        ]
+    # Sorted by (file, line, code); the line-less S203 sorts first.
+    assert doc["diagnostics"][0]["code"] == "S203"
+    assert doc["diagnostics"][0]["severity"] == "warning"
+    assert doc["diagnostics"][1]["code"] == "R001"
+
+
+def test_sorting_is_by_file_line_code():
+    d1 = _diag(file="b.rules", line=1)
+    d2 = _diag(file="a.rules", line=9)
+    d3 = _diag(file="a.rules", line=2, code="R005")
+    d4 = _diag(file="a.rules", line=2, code="R002")
+    ordered = sort_diagnostics([d1, d2, d3, d4])
+    assert ordered == [d4, d3, d2, d1]
+
+
+def test_exit_codes():
+    error = _diag()
+    warning = _diag(severity=Severity.WARNING)
+    info = _diag(severity=Severity.INFO)
+    assert exit_code([]) == 0
+    assert exit_code([info]) == 0
+    assert exit_code([warning]) == 0
+    assert exit_code([warning], strict=True) == 1
+    assert exit_code([error]) == 1
+    assert exit_code([info, warning, error]) == 1
+
+
+def test_summarize_counts():
+    counts = summarize([
+        _diag(), _diag(severity=Severity.WARNING),
+        _diag(severity=Severity.INFO), _diag(),
+    ])
+    assert counts == {"errors": 2, "warnings": 1, "infos": 1}

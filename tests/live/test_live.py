@@ -17,8 +17,7 @@ from repro.live import (
     sqrt_sum_state,
 )
 from repro.live.proc_sensors import CpuIdleSampler, NetRateSampler
-from repro.protocol import Ack, StatusUpdate
-from repro.rules import SystemState
+from repro.protocol import Ack
 
 
 def wait_for(predicate, timeout=10.0, interval=0.05):

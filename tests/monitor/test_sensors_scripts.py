@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import BulkTransferLoad, Cluster, CpuHog
+from repro.cluster import Cluster, CpuHog
 from repro.monitor import SensorSuite, SimScriptEngine
 
 

@@ -1,6 +1,5 @@
 """Property-based tests: processor-sharing invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,11 +1,10 @@
 """Property-based tests: max-min fair network invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster import Cluster, Network
+from repro.cluster import Network
 from repro.sim import Environment
 
 HOSTS = ["h1", "h2", "h3", "h4"]

@@ -76,7 +76,6 @@ def test_candidate_request_roundtrip():
 
 
 def test_candidate_request_with_requirements():
-    from repro.schema import ApplicationSchema
     req_xml = "<requirements><memory>1024</memory></requirements>"
     msg = CandidateRequest(host="x", requirements_xml=req_xml)
     back = roundtrip(msg)

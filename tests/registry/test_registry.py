@@ -1,6 +1,5 @@
 """Registry/scheduler: decision flow, policies, hierarchy."""
 
-import pytest
 
 from repro.cluster import Cluster
 from repro.core import MetricPredicate, MigrationPolicy

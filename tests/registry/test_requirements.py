@@ -1,7 +1,6 @@
 """Resource-requirement matching: a destination must "own all the
 resources required" (paper §3.2)."""
 
-import pytest
 
 from repro.cluster import Cluster, CpuHog
 from repro.core import Rescheduler, ReschedulerConfig, policy_2

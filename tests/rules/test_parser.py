@@ -107,3 +107,86 @@ def test_operator_validation():
 def test_empty_complex_expression_rejected():
     with pytest.raises(ValueError, match="empty"):
         ComplexRule(number=1, name="bad", expression="  ")
+
+
+# --------------------------------------------------- error paths (lint PR)
+def test_non_numeric_rule_number():
+    text = "rl_number: one\nrl_name: x\nrl_type: complex\nrl_script: r1\n"
+    with pytest.raises(RuleParseError, match="rl_number must be numeric"):
+        parse_rules(text)
+
+
+def test_non_numeric_thresholds():
+    text = (
+        "rl_number: 1\nrl_name: x\nrl_type: simple\nrl_script: a.sh\n"
+        "rl_operator: >\nrl_busy: lots\nrl_overLd: 2\n"
+    )
+    with pytest.raises(RuleParseError, match="rl_busy must be numeric"):
+        parse_rules(text)
+
+
+def test_bad_rule_number_order_list():
+    text = (
+        "rl_number: 5\nrl_name: cmp\nrl_type: complex\n"
+        "rl_ruleNo: 4 one 3\nrl_script: r4 & r3\n"
+    )
+    with pytest.raises(RuleParseError, match="rl_ruleNo"):
+        parse_rules(text)
+
+
+def test_missing_rl_type_defaults_to_simple():
+    text = (
+        "rl_number: 1\nrl_name: x\nrl_script: a.sh\n"
+        "rl_operator: >\nrl_busy: 1\nrl_overLd: 2\n"
+    )
+    (rule,) = parse_rules(text)
+    assert isinstance(rule, SimpleRule)
+
+
+def test_missing_rl_type_still_requires_simple_keys():
+    text = "rl_number: 1\nrl_name: x\nrl_script: a.sh\n"
+    with pytest.raises(RuleParseError, match="rl_operator"):
+        parse_rules(text)
+
+
+def test_keys_before_first_rl_number_rejected():
+    text = "rl_name: orphan\nrl_number: 1\n"
+    with pytest.raises(RuleParseError, match="missing rl_number"):
+        parse_rules(text)
+
+
+def test_scan_blocks_collects_errors_leniently():
+    from repro.rules.parser import scan_blocks
+
+    text = (
+        "rl_number: 1\nrl_name: a\nbogus: 1\nrl_name: dup\n"
+        "no colon here\nrl_number: 2\nrl_name: b\n"
+    )
+    errors = []
+    blocks = scan_blocks(text, errors=errors)
+    assert len(blocks) == 2
+    assert blocks[0].fields["rl_name"] == "a"
+    assert blocks[1].start_line == 6
+    messages = [m for _, m in errors]
+    assert any("unknown key" in m for m in messages)
+    assert any("duplicate key" in m for m in messages)
+    assert any("key: value" in m for m in messages)
+    assert [lineno for lineno, _ in errors] == [3, 4, 5]
+
+
+def test_scan_blocks_strict_raises_on_first_error():
+    from repro.rules.parser import scan_blocks
+
+    with pytest.raises(RuleParseError, match="line 1"):
+        scan_blocks("bogus: 1\n")
+
+
+def test_round_trip_keeps_ruleno_order():
+    text = (
+        "rl_number: 5\nrl_name: cmp\nrl_type: complex\n"
+        "rl_ruleNo: 4 1 3\nrl_script: r4 & r1 & r3\n"
+    )
+    from repro.rules import dump_rule
+
+    (rule,) = parse_rules(text)
+    assert "rl_ruleNo: 4 1 3" in dump_rule(rule)

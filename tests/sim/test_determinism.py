@@ -1,6 +1,5 @@
 """Determinism: identical seeds yield bit-identical experiment runs."""
 
-import pytest
 
 from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
 from repro.cluster import CpuHog
