@@ -1,23 +1,39 @@
 #!/usr/bin/env python
-"""Anatomy of one migration — the §5.2 efficiency experiment.
+"""Anatomy of one migration — the §5.2 efficiency experiment, traced.
 
-Reproduces the paper's Figure 7/8 timeline and prints the phase
-breakdown plus ASCII plots of CPU utilization and network rates around
-the migration window.
+Reproduces the paper's Figure 7/8 timeline with the structured tracing
+subsystem recording every step: monitor samples, rule evaluations,
+registry decision, commander signal and the HPCM spawn / capture /
+transfer / drain spans.  Prints the phase breakdown (both from the
+migration record and from the trace spans), ASCII plots of CPU
+utilization and network rates around the migration window, and writes
+the full trace as JSONL for inspection with ``repro trace`` tooling or
+conversion to Chrome/Perfetto format (see docs/tracing.md).
 
-Run:  python examples/migration_trace.py
+Run:  python examples/migration_trace.py [trace-out.jsonl]
 """
 
+import sys
+
 from repro.analysis import run_efficiency_experiment
-from repro.metrics import ascii_plot
+from repro.metrics import ascii_plot, format_phase_table
+from repro.trace import Tracer, export_jsonl, use
+from repro.trace.events import EV_HPCM_MIGRATION
 
 
 def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "migration_trace.jsonl"
+
     print("running the efficiency scenario "
           "(app at t=280s, overload at t=428s) ...")
-    result = run_efficiency_experiment()
+    tracer = Tracer()
+    with use(tracer):
+        result = run_efficiency_experiment()
     rec = result.record
     assert rec is not None and rec.succeeded
+
+    mig_spans = [r for r in tracer.by_name(EV_HPCM_MIGRATION) if r.is_span]
+    assert mig_spans and mig_spans[0].attrs.get("succeeded")
 
     print(f"""
 migration timeline (paper values in brackets):
@@ -32,6 +48,9 @@ migration timeline (paper values in brackets):
   migration complete           {rec.total_seconds:7.2f} s   [7.5 s]
   memory state moved           {rec.memory_bytes / 2**20:7.1f} MB
 """)
+    print(format_phase_table(tracer.records,
+                             title="same story, from the trace spans"))
+    print()
     print(ascii_plot(
         [result.cpu_source, result.cpu_dest],
         title="Figure 7 — CPU utilization",
@@ -48,6 +67,9 @@ migration timeline (paper values in brackets):
           "seconds BEFORE the transfer finished — restoration overlaps "
           "computation, as in the paper.")
     print("checksum identical to an unmigrated run:", result.checksum_ok)
+
+    export_jsonl(tracer.records, out_path)
+    print(f"trace written: {out_path} ({len(tracer.records)} records)")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,20 @@
-"""Command-line interface: experiments and configuration linting.
+"""Command-line interface: experiments, tracing, configuration linting.
 
 ::
 
     python -m repro list
     python -m repro run fig5 [--seed N] [--out DIR]
-    python -m repro run table2 [--out DIR]
+    python -m repro run fig7 --trace out.jsonl
     python -m repro run all --out results/
+    python -m repro trace fig7 [--out trace.json] [--format chrome]
     python -m repro lint examples/ [--format json] [--strict]
 
 ``repro run`` regenerates a §5 experiment, prints a paper-vs-measured
 table (and ASCII plots for the figures), and — with ``--out`` —
-exports the raw series as CSV.  ``repro lint`` statically checks rule
+exports the raw series as CSV; ``--trace PATH`` additionally records
+the structured migration-lifecycle trace (see ``docs/tracing.md``).
+``repro trace`` runs an experiment purely for its trace and prints the
+per-phase span breakdown.  ``repro lint`` statically checks rule
 files, policy files and application schemas (see ``docs/linting.md``).
 
 The pre-subcommand spelling ``repro fig5`` still works through a
@@ -191,10 +195,55 @@ COMMANDS = {
 }
 
 
+def _export_trace(tracer, path: str, fmt: Optional[str] = None) -> None:
+    """Write a collected trace; format from ``fmt`` or the extension
+    (``.json`` → Chrome/Perfetto, anything else → JSONL)."""
+    from .trace.exporters import export_chrome, export_jsonl
+
+    if fmt is None:
+        fmt = "chrome" if path.endswith(".json") else "jsonl"
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if fmt == "chrome":
+        n = export_chrome(tracer.records, path)
+    else:
+        n = export_jsonl(tracer.records, path)
+    print(f"trace written: {path} ({n} records, {fmt} format)")
+
+
 def _run(args) -> int:
     if args.out:
         os.makedirs(args.out, exist_ok=True)
-    return COMMANDS[args.experiment](args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return COMMANDS[args.experiment](args)
+    from .trace import Tracer, use
+
+    tracer = Tracer()
+    with use(tracer):
+        rc = COMMANDS[args.experiment](args)
+    _export_trace(tracer, trace_path)
+    return rc
+
+
+def _trace(args) -> int:
+    from .metrics.tracestats import format_phase_table
+    from .trace import Tracer, use
+
+    # The experiment handlers read seed/duration/out; out here names
+    # the trace file, so the handler sees no CSV directory.
+    handler_args = argparse.Namespace(
+        experiment=args.experiment, seed=args.seed,
+        duration=args.duration, out=None,
+    )
+    tracer = Tracer()
+    with use(tracer):
+        rc = COMMANDS[args.experiment](handler_args)
+    _export_trace(tracer, args.out, fmt=args.format)
+    print()
+    print(format_phase_table(tracer.records))
+    return rc
 
 
 def _lint(args) -> int:
@@ -233,7 +282,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "seconds (default 3600)")
     run.add_argument("--out", default=None,
                      help="directory for CSV export (created if missing)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="also record a structured trace to PATH "
+                          "(.json → Chrome/Perfetto, else JSONL)")
     run.set_defaults(func=_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with tracing on and export the trace",
+    )
+    trace.add_argument("experiment", choices=sorted(COMMANDS),
+                       help="which experiment to trace")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="random seed (default 0)")
+    trace.add_argument("--duration", type=float, default=3600.0,
+                       help="overhead-experiment horizon in simulated "
+                            "seconds (default 3600)")
+    trace.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                       help="trace output path (default trace.jsonl)")
+    trace.add_argument("--format", choices=("jsonl", "chrome"),
+                       default=None,
+                       help="trace format (default: from extension)")
+    trace.set_defaults(func=_trace)
 
     lint = sub.add_parser(
         "lint",

@@ -21,6 +21,8 @@ from typing import Any, List, Optional
 from ..hpcm.record import MigrationOrder
 from ..protocol.messages import Ack, MigrateCommand
 from ..protocol.transport import Endpoint, EndpointRegistry
+from ..trace import get_tracer
+from ..trace.events import EV_COMMANDER_SIGNAL
 
 
 @dataclass
@@ -71,6 +73,13 @@ class Commander:
             if self.signal_latency > 0:
                 yield self.env.timeout(self.signal_latency)
             delivered, detail = self._deliver(msg)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    EV_COMMANDER_SIGNAL, t=self.env.now,
+                    host=self.host.name, pid=msg.pid, dest=msg.dest,
+                    delivered=delivered, detail=detail,
+                )
             self.log.append(
                 CommandLog(
                     at=self.env.now,

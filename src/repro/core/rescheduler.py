@@ -22,6 +22,8 @@ from ..protocol.transport import EndpointRegistry
 from ..registry.registry import RegistryScheduler
 from ..registry.strategies import first_fit
 from ..rules.model import RuleSet
+from ..trace import get_tracer
+from ..trace.events import EV_RESCHEDULER_DEPLOY, EV_RESCHEDULER_STOP
 from .policy import MigrationPolicy, policy_1
 
 
@@ -71,6 +73,12 @@ class Rescheduler:
     ):
         self.cluster = cluster
         self.env = cluster.env
+        # Deployment is where the ambient tracer meets a simulation
+        # clock; spans opened by env-free layers stamp correctly from
+        # here on.
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.bind_clock(lambda: self.env.now)
         self.policy = policy or policy_1()
         self.config = config or ReschedulerConfig()
         self.directory = directory or EndpointRegistry()
@@ -129,6 +137,13 @@ class Rescheduler:
                 use_tempfile=self.config.use_tempfile,
             )
         self.apps: List[HpcmRuntime] = []
+        if tracer.enabled:
+            tracer.event(
+                EV_RESCHEDULER_DEPLOY, t=self.env.now,
+                host=registry_host, hosts=len(host_names),
+                policy=getattr(self.policy, "name", ""),
+                mode=self.config.mode,
+            )
 
     # -- application management -----------------------------------------
     def launch_app(
@@ -196,6 +211,10 @@ class Rescheduler:
 
     def stop(self) -> None:
         """Stop all entities (monitors unregister on their next tick)."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(EV_RESCHEDULER_STOP, t=self.env.now,
+                         host=self.registry.host.name)
         for monitor in self.monitors.values():
             monitor.stop()
         for commander in self.commanders.values():

@@ -33,6 +33,18 @@ from ..mpi.group import CommGroup
 from ..mpi.process import MpiProcess
 from ..mpi.runtime import MpiRuntime
 from ..schema import ApplicationSchema
+from ..trace import get_tracer
+from ..trace.events import (
+    EV_APP_FINISH,
+    EV_APP_START,
+    EV_HPCM_CAPTURE,
+    EV_HPCM_DRAIN,
+    EV_HPCM_MIGRATION,
+    EV_HPCM_POLLPOINT,
+    EV_HPCM_RESUME,
+    EV_HPCM_SPAWN,
+    EV_HPCM_TRANSFER,
+)
 from .app import MigratableApp
 from .context import AppContext
 from .record import MigrationOrder, MigrationRecord
@@ -161,6 +173,10 @@ class HpcmRuntime:
         self.status = "running"
         self.started_at = self.env.now
         self._arrived_at = self.env.now
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(EV_APP_START, t=self.env.now,
+                         host=self.host.name, app=self.app.name)
         try:
             self.state = self.app.create_state(self.params, self.rng)
             more = True
@@ -176,6 +192,10 @@ class HpcmRuntime:
             self.error = exc
             self.finished_at = self.env.now
             self._settle_residency()
+            if tracer.enabled:
+                tracer.event(EV_APP_FINISH, t=self.env.now,
+                             host=self.host.name, app=self.app.name,
+                             status="failed")
             self.process.exit()
             # Waiters on `done` see the exception; defusing keeps an
             # unobserved failure from aborting the whole simulation.
@@ -185,6 +205,10 @@ class HpcmRuntime:
         self.status = "done"
         self.finished_at = self.env.now
         self._settle_residency()
+        if tracer.enabled:
+            tracer.event(EV_APP_FINISH, t=self.env.now,
+                         host=self.host.name, app=self.app.name,
+                         status="done")
         self.result = self.app.finalize(self.state)
         self.schema = self.schema.updated_from_run(
             self.finished_at - self.started_at,
@@ -205,10 +229,29 @@ class HpcmRuntime:
             pollpoint_at=self.env.now,
         )
         self.migrations.append(rec)
+        tracer = get_tracer()
+        mig_span = tracer.begin(
+            EV_HPCM_MIGRATION, t=order.issued_at, host=self.host.name,
+            app=self.app.name, source=self.host.name,
+            dest=dest_host.name,
+        ) if tracer.enabled else None
+        if tracer.enabled:
+            tracer.event(
+                EV_HPCM_POLLPOINT, t=self.env.now, host=self.host.name,
+                app=self.app.name, dest=dest_host.name,
+                step=self.step_count,
+            )
         if dest_host is self.host:
             rec.failure = "destination equals source"
+            if mig_span is not None:
+                mig_span.end(t=self.env.now, succeeded=False,
+                             failure=rec.failure)
             return
         old_proc = self.process
+        spawn_span = tracer.begin(
+            EV_HPCM_SPAWN, t=self.env.now, host=dest_host.name,
+            app=self.app.name, dest=dest_host.name,
+        ) if tracer.enabled else None
         try:
             # 1. Initialized process on the destination (MPI-2 DPM);
             #    a pre-initialized standby skips the spawn latency.
@@ -224,15 +267,28 @@ class HpcmRuntime:
             )
         except SpawnError as exc:
             rec.failure = f"spawn failed: {exc}"
+            if spawn_span is not None:
+                spawn_span.end(t=self.env.now, warm=warm)
+            if mig_span is not None:
+                mig_span.end(t=self.env.now, succeeded=False,
+                             failure=rec.failure)
             return
         rec.spawned_at = self.env.now
+        if spawn_span is not None:
+            spawn_span.end(t=self.env.now, warm=warm)
 
         # 2. Capture memory state (real pickle; costs CPU on the source).
+        capture_span = tracer.begin(
+            EV_HPCM_CAPTURE, t=self.env.now, host=self.host.name,
+            app=self.app.name,
+        ) if tracer.enabled else None
         mem_blob = statexfer.capture(self.state)
         rec.memory_bytes = len(mem_blob)
         capture_work = len(mem_blob) / self.serialize_rate
         if capture_work > 0:
             yield self.host.cpu.execute(capture_work, label="hpcm-capture")
+        if capture_span is not None:
+            capture_span.end(t=self.env.now, bytes=len(mem_blob))
         chunks = statexfer.chunk(mem_blob, self.chunks)
         resume_after = max(1, math.ceil(len(chunks) * self.resume_fraction))
         exec_state = {
@@ -252,6 +308,11 @@ class HpcmRuntime:
             for piece in chunks:
                 yield from icomm.send(piece, dest=0, tag=TAG_MEMORY_CHUNK)
 
+        transfer_span = tracer.begin(
+            EV_HPCM_TRANSFER, t=self.env.now, host=self.host.name,
+            app=self.app.name, dest=dest_host.name,
+            bytes=len(mem_blob), chunks=len(chunks),
+        ) if tracer.enabled else None
         streamer = self.env.process(_stream(), name="hpcm-stream")
 
         # 4. Wait until the destination may resume (exec state + the
@@ -263,9 +324,19 @@ class HpcmRuntime:
             yield self.env.any_of([ready, streamer])
         except Exception as exc:
             rec.failure = f"transfer failed: {exc}"
+            if transfer_span is not None:
+                transfer_span.end(t=self.env.now)
+            if mig_span is not None:
+                mig_span.end(t=self.env.now, succeeded=False,
+                             failure=rec.failure)
             return
         if not ready.triggered:  # pragma: no cover - defensive
             rec.failure = "receiver never became ready"
+            if transfer_span is not None:
+                transfer_span.end(t=self.env.now)
+            if mig_span is not None:
+                mig_span.end(t=self.env.now, succeeded=False,
+                             failure=rec.failure)
             return
         receiver_proc = ready.value
 
@@ -281,6 +352,15 @@ class HpcmRuntime:
         if self.comm is not None:
             self.comm = self.comm.handle_for(receiver_proc)
         rec.resumed_at = self.env.now
+        if tracer.enabled:
+            tracer.event(
+                EV_HPCM_RESUME, t=self.env.now, host=dest_host.name,
+                app=self.app.name, source=rec.source,
+            )
+        drain_span = tracer.begin(
+            EV_HPCM_DRAIN, t=self.env.now, host=dest_host.name,
+            app=self.app.name,
+        ) if tracer.enabled else None
 
         # 6. The drain and the source-side exit finish in the background.
         def _cleanup():
@@ -289,17 +369,34 @@ class HpcmRuntime:
                 blob = yield transfer_done
             except Exception as exc:
                 rec.failure = f"drain failed: {exc}"
+                self._trace_drain_end(rec, transfer_span, drain_span,
+                                      mig_span)
                 old_proc.exit()
                 return
             if blob != mem_blob:  # pragma: no cover - invariant
                 rec.failure = "state corrupted in transit"
+                self._trace_drain_end(rec, transfer_span, drain_span,
+                                      mig_span)
                 old_proc.exit()
                 return
             rec.completed_at = self.env.now
             rec.succeeded = True
+            self._trace_drain_end(rec, transfer_span, drain_span,
+                                  mig_span)
             old_proc.exit()
 
         self.env.process(_cleanup(), name="hpcm-cleanup")
+
+    def _trace_drain_end(self, rec, transfer_span, drain_span, mig_span):
+        """Close the transfer/drain/migration spans when the drain ends."""
+        now = self.env.now
+        if transfer_span is not None:
+            transfer_span.end(t=now)
+        if drain_span is not None:
+            drain_span.end(t=now, overlap_s=now - rec.resumed_at)
+        if mig_span is not None:
+            mig_span.end(t=now, succeeded=rec.succeeded,
+                         failure=rec.failure)
 
     def _resolve_order_host(self, order: MigrationOrder):
         """Find the destination Host (reads the temp address file when

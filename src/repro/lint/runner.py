@@ -52,7 +52,8 @@ def collect_files(paths: Sequence[str]) -> List[str]:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
                 dirnames[:] = sorted(
-                    d for d in dirnames if not d.startswith(".")
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
                 )
                 for name in sorted(filenames):
                     if not name.startswith("."):

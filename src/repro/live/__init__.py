@@ -1,9 +1,13 @@
 """Live mode: the rescheduler on real threads, sockets and /proc.
 
-Demonstrates that the design is not simulation-bound: the same XML
-protocol, soft-state table, victim selection and policies run as real
-threads exchanging frames over localhost TCP, with /proc-backed
-sensors, rescheduling genuinely-computing tasks whose pickled state
+The paper's system ran on real workstations — "a cluster of SUN
+workstations" with entities talking over "a custom XML based protocol
+with TCP/IP sockets" (§3.3, §5).  Live mode demonstrates the same
+thing of this reproduction: the design is not simulation-bound.  The
+same XML protocol, soft-state table (§3.2), victim selection and
+policies (§5.3) run as real threads exchanging frames over localhost
+TCP, with /proc-backed sensors standing in for the monitoring scripts
+of §3.1, rescheduling genuinely-computing tasks whose pickled state
 moves over the wire.
 """
 

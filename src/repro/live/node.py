@@ -1,11 +1,13 @@
 """A live node: worker + monitor + commander in one real process.
 
-Each :class:`LiveNode` owns a TCP endpoint, executes checkpointable
-tasks on worker threads, pushes soft-state status updates to the
-registry (monitor role), and acts on incoming ``MigrateCommand``s by
+"A monitor and a commander entity reside on each host" (paper §3);
+a :class:`LiveNode` plays both roles for one real OS process.  It owns
+a TCP endpoint, executes checkpointable tasks on worker threads,
+pushes soft-state status updates to the registry on the paper's §3.2
+push model (monitor role), and acts on incoming ``MigrateCommand``s by
 checkpointing the task at its next poll-point and shipping the pickled
 state to the destination node over a real socket (commander + HPCM
-roles).
+roles, §3.3).
 
 Load is the node's *task occupancy* plus any injected synthetic load —
 deterministic for demos and tests — while genuine ``/proc`` metrics

@@ -1,9 +1,12 @@
 """Real system sensors backed by /proc (Linux).
 
-The simulated script engine's counterpart for live mode: the same
-quantities the paper's shell scripts gathered with ``vmstat``,
-``netstat`` and ``ps``, read from procfs.  Each sensor degrades
-gracefully (returns ``None``) on platforms without the file.
+The paper's monitor "gather[s] dynamic information ... through the use
+of scripts (such as UNIX shell-scripts)" wrapping ``vmstat``,
+``prstat`` and ``ps`` (§3.1).  This module is the live-mode
+counterpart of the simulated script engine: the same quantities —
+load averages, CPU idle time, memory, network byte rates, process
+counts — read from procfs.  Each sensor degrades gracefully (returns
+``None``) on platforms without the file.
 """
 
 from __future__ import annotations

@@ -1,8 +1,11 @@
 """Live registry/scheduler: the decision entity over real sockets.
 
-Reuses the simulation's soft-state table and victim selection
-unchanged (they only need a ``.now`` clock), listening for XML status
-pushes from :class:`~repro.live.node.LiveNode` monitors and sending
+The paper's registry/scheduler is the "global system-state manager
+and decision maker" whose registration "is based on a soft-state
+mechanism" (§3.2).  This live version reuses the simulation's
+soft-state table and victim selection unchanged (they only need a
+``.now`` clock), listening for XML status pushes from
+:class:`~repro.live.node.LiveNode` monitors and sending
 ``MigrateCommand``s back — the paper's architecture running on a real
 wire.
 """

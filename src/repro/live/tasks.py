@@ -1,9 +1,12 @@
 """Checkpointable task types for live mode.
 
-A live task is a *named, importable* step function over a picklable
-state dict — migration ships the type name plus the pickled state, and
-the destination resolves the name back to code (HPCM shipped binaries
-per architecture; shipping code identity + data is the Python analog).
+HPCM's precompiler made C/Fortran programs collectible at poll-points
+so that "the execution, memory, and communication states" could move
+at "the nearest poll-point" (paper §3); a live task is the Python
+analog — a *named, importable* step function over a picklable state
+dict.  Migration ships the type name plus the pickled state, and the
+destination resolves the name back to code (HPCM shipped binaries per
+architecture; shipping code identity + data plays that role here).
 
 ``step(state) -> bool`` performs one chunk of real computation and
 returns True while unfinished.  Between steps (poll-points) the state

@@ -1,9 +1,12 @@
 """Real TCP transport for live mode.
 
-The same XML messages as the simulation (`repro.protocol.messages`),
-framed over genuine localhost sockets: 1-byte frame kind + 4-byte
-big-endian length + payload.  Kind ``M`` carries a protocol message;
-kind ``S`` carries a migration state blob (JSON header + pickle).
+"We combine a custom XML based protocol with TCP/IP sockets to form
+the communication subsystem of the rescheduler" (paper §3.3) — here
+over genuine localhost sockets.  The same XML messages as the
+simulation (`repro.protocol.messages`), framed as 1-byte frame kind +
+4-byte big-endian length + payload.  Kind ``M`` carries a protocol
+message; kind ``S`` carries a migration state blob (JSON header +
+pickle), the live analog of HPCM's state transfer.
 """
 
 from __future__ import annotations

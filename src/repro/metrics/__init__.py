@@ -1,4 +1,5 @@
-"""Measurement: time series, host recorders, plain-text reports."""
+"""Measurement: time series, host recorders, plain-text reports,
+and per-phase breakdowns computed from trace spans."""
 
 from .recorder import (
     ClusterRecorder,
@@ -8,6 +9,12 @@ from .recorder import (
 )
 from .report import ascii_plot, format_table
 from .timeseries import TimeSeries
+from .tracestats import (
+    format_phase_table,
+    migration_phases,
+    phase_breakdown,
+    span_durations,
+)
 
 __all__ = [
     "ClusterRecorder",
@@ -17,4 +24,8 @@ __all__ = [
     "TimeSeries",
     "ascii_plot",
     "format_table",
+    "format_phase_table",
+    "migration_phases",
+    "phase_breakdown",
+    "span_durations",
 ]

@@ -28,6 +28,8 @@ from ..protocol.transport import Endpoint, EndpointRegistry
 from ..rules.evaluator import RuleEvaluator
 from ..rules.model import RuleSet
 from ..rules.states import SystemState
+from ..trace import get_tracer
+from ..trace.events import EV_MONITOR_REPORT, EV_MONITOR_SAMPLE
 from .database import MonitoringDatabase
 from .scripts import SimScriptEngine
 from .selector import collect_process_info
@@ -149,6 +151,11 @@ class Monitor:
 
     # -- one monitoring cycle ---------------------------------------------
     def _cycle(self, push_to: Optional[str] = None):
+        tracer = get_tracer()
+        span = tracer.begin(
+            EV_MONITOR_SAMPLE, t=self.env.now, host=self.host.name,
+            cycle=self.cycles,
+        ) if tracer.enabled else None
         # Script executions cost CPU — the Figure 5 overhead.
         if self.cycle_cost > 0:
             yield self.host.cpu.execute(self.cycle_cost, label="monitor")
@@ -157,6 +164,14 @@ class Monitor:
         self.state = self._classify(snapshot)
         self.reported_state = self._apply_sustain(self.state)
         self.cycles += 1
+        if span is not None:
+            span.end(t=self.env.now, state=self.state.name,
+                     reported=self.reported_state.name)
+            tracer.event(
+                EV_MONITOR_REPORT, t=self.env.now, host=self.host.name,
+                state=self.reported_state.name,
+                to=push_to or self.registry_address,
+            )
 
         update = StatusUpdate(
             host=self.host.name,

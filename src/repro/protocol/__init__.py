@@ -1,4 +1,11 @@
-"""Custom XML-over-TCP protocol between rescheduler entities (§3.3)."""
+"""Custom XML-over-TCP protocol between rescheduler entities.
+
+"We combine a custom XML based protocol with TCP/IP sockets to form
+the communication subsystem of the rescheduler" (paper §3.3): message
+types in :mod:`~repro.protocol.messages`, simulated-TCP endpoints in
+:mod:`~repro.protocol.transport`, and the same messages over real
+sockets in :mod:`repro.live.transport`.
+"""
 
 from .messages import (
     Ack,

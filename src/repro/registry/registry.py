@@ -31,6 +31,13 @@ from ..protocol.messages import (
 from ..protocol.transport import Endpoint, EndpointRegistry
 from ..rules.states import SystemState
 from ..monitor.selector import ProcessInfo, select_victim
+from ..trace import get_tracer
+from ..trace.events import (
+    EV_REGISTRY_COMMAND,
+    EV_REGISTRY_DECIDE,
+    EV_REGISTRY_REGISTER,
+    EV_REGISTRY_UPDATE,
+)
 from .softstate import SoftStateTable
 from .strategies import first_fit
 
@@ -157,12 +164,20 @@ class RegistryScheduler:
         # never block on them.
         while not self._stopped:
             msg, sender, ts = yield self.endpoint.recv()
+            tracer = get_tracer()
             if isinstance(msg, Register):
                 self.table.register(msg.host, msg.static_info)
+                if tracer.enabled:
+                    tracer.event(EV_REGISTRY_REGISTER, t=self.env.now,
+                                 host=msg.host, registry=self.label)
             elif isinstance(msg, StatusUpdate):
                 self.table.update(
                     msg.host, msg.state, msg.metrics, msg.processes
                 )
+                if tracer.enabled:
+                    tracer.event(EV_REGISTRY_UPDATE, t=self.env.now,
+                                 host=msg.host, state=msg.state.name,
+                                 registry=self.label)
                 if msg.state is SystemState.OVERLOADED:
                     self.env.process(
                         self._decide(msg, sender),
@@ -204,6 +219,11 @@ class RegistryScheduler:
 
     def _decide_inner(self, update: StatusUpdate, source: str, victim):
         t0 = self.env.now
+        tracer = get_tracer()
+        span = tracer.begin(
+            EV_REGISTRY_DECIDE, t=t0, host=source,
+            pid=victim.pid, app=victim.name,
+        ) if tracer.enabled else None
         if self.decision_cost > 0:
             yield self.host.cpu.execute(self.decision_cost,
                                         label="registry-decide")
@@ -213,6 +233,8 @@ class RegistryScheduler:
             requirements=victim,
         )
         decision_seconds = self.env.now - t0
+        if span is not None:
+            span.end(t=self.env.now, dest=dest, escalated=escalated)
         self.decisions.append(
             Decision(
                 at=self.env.now,
@@ -227,6 +249,12 @@ class RegistryScheduler:
         if dest is None:
             return
         self._last_command[source] = self.env.now
+        if tracer.enabled:
+            tracer.event(
+                EV_REGISTRY_COMMAND, t=self.env.now, host=source,
+                pid=victim.pid, dest=dest,
+                decision_s=decision_seconds,
+            )
         self.endpoint.send_and_forget(
             f"commander@{source}",
             MigrateCommand(

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..rules.states import SystemState
+from ..trace import get_tracer
+from ..trace.events import EV_REGISTRY_EXPIRE
 
 
 @dataclass
@@ -29,6 +31,9 @@ class HostRecord:
     processes: List[dict] = field(default_factory=list)
     last_update: float = 0.0
     updates_received: int = 0
+    #: Expiry already traced for the current lease lapse (reset by the
+    #: next update, so each lapse produces exactly one trace event).
+    expiry_traced: bool = False
 
 
 class SoftStateTable:
@@ -58,6 +63,7 @@ class SoftStateTable:
         else:
             record.static_info = dict(static_info)
             record.last_update = self.env.now
+            record.expiry_traced = False
         return record
 
     def update(
@@ -76,6 +82,7 @@ class SoftStateTable:
         record.processes = list(processes or [])
         record.last_update = self.env.now
         record.updates_received += 1
+        record.expiry_traced = False
         return record
 
     def unregister(self, host: str) -> None:
@@ -87,6 +94,16 @@ class SoftStateTable:
     def effective_state(self, record: HostRecord) -> SystemState:
         """The record's state, demoted to UNAVAILABLE on lease expiry."""
         if self.env.now - record.last_update > self.lease:
+            if not record.expiry_traced:
+                record.expiry_traced = True
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        EV_REGISTRY_EXPIRE, t=self.env.now,
+                        host=record.host,
+                        last_update=record.last_update,
+                        lease=self.lease,
+                    )
             return SystemState.UNAVAILABLE
         return record.state
 

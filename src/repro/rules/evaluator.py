@@ -13,6 +13,8 @@ from typing import Callable, Dict, Optional, Union
 from . import expr as expr_mod
 from .model import ComplexRule, RuleSet, SimpleRule
 from .states import SystemState
+from ..trace import get_tracer
+from ..trace.events import EV_RULE_EVALUATE, EV_RULE_FIRE
 
 
 class ScriptNotFound(KeyError):
@@ -59,7 +61,16 @@ class RuleEvaluator:
             value = float(self.script_engine(rule.script, rule.param))
         except KeyError as exc:
             raise ScriptNotFound(rule.script) from exc
-        return classify(value, rule.operator, rule.busy, rule.overloaded)
+        state = classify(value, rule.operator, rule.busy, rule.overloaded)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EV_RULE_FIRE, rule=rule.number, rule_name=rule.name,
+                script=rule.script, param=rule.param, value=value,
+                operator=rule.operator, busy=rule.busy,
+                overloaded=rule.overloaded, state=state.name,
+            )
+        return state
 
     def _evaluate_complex(
         self, rule: ComplexRule, stack: frozenset
@@ -86,8 +97,13 @@ class RuleEvaluator:
     ) -> SystemState:
         """The host's state: a designated root rule, or the most severe
         outcome across all top-level rules."""
+        tracer = get_tracer()
         if root_rule is not None:
-            return self.evaluate_rule(root_rule)
+            state = self.evaluate_rule(root_rule)
+            if tracer.enabled:
+                tracer.event(EV_RULE_EVALUATE, state=state.name,
+                             root=root_rule, rules=1)
+            return state
         # Rules referenced by complex rules are sub-rules; top-level
         # rules are the rest.
         referenced: set = set()
@@ -100,9 +116,12 @@ class RuleEvaluator:
             for rule in self.ruleset
             if rule.number not in referenced
         ]
-        if not states:
-            return SystemState.FREE
-        return SystemState(max(int(s) for s in states))
+        state = (SystemState(max(int(s) for s in states))
+                 if states else SystemState.FREE)
+        if tracer.enabled:
+            tracer.event(EV_RULE_EVALUATE, state=state.name,
+                         root=None, rules=len(states))
+        return state
 
 
 def classify(

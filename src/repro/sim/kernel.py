@@ -49,6 +49,10 @@ class Environment:
         self._queue: list = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: Optional per-dispatch observer ``hook(now, event)`` — used by
+        #: :func:`repro.trace.attach_kernel`; one None-check per step
+        #: when absent.
+        self.trace_hook: Optional[Any] = None
 
     # -- clock --------------------------------------------------------------
     @property
@@ -103,6 +107,9 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
+
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive

@@ -1,0 +1,36 @@
+"""Opt-in kernel-level dispatch tracing.
+
+The simulation kernel fires thousands of events per simulated minute,
+so per-dispatch tracing is never on by default: the kernel only calls
+an optional ``trace_hook`` when one is installed.  :func:`attach_kernel`
+installs a hook that emits one ``sim.dispatch`` record per processed
+kernel event — useful when debugging the event interleaving itself
+(who woke whom, in what order), unaffordable for whole experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .events import EV_SIM_DISPATCH
+from .tracer import Tracer
+
+
+def attach_kernel(env: Any, tracer: Tracer) -> None:
+    """Emit one ``sim.dispatch`` record per kernel event on ``env``."""
+
+    def hook(now: float, event: Any) -> None:
+        if not tracer.enabled:
+            return
+        proc = getattr(event, "name", "") or ""
+        tracer.event(
+            EV_SIM_DISPATCH, t=now,
+            event=type(event).__name__, process=proc,
+        )
+
+    env.trace_hook = hook
+
+
+def detach_kernel(env: Any) -> None:
+    """Remove a previously attached dispatch hook."""
+    env.trace_hook = None

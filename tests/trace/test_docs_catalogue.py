@@ -1,0 +1,71 @@
+"""Code ↔ docs diff: the event catalogue, the emitters and
+docs/tracing.md must all agree on the stable event names."""
+
+import re
+from pathlib import Path
+
+from repro import trace
+from repro.trace import EVENTS
+from repro.trace import events as events_mod
+
+REPO = Path(trace.__file__).resolve().parents[3]
+SRC = REPO / "src" / "repro"
+TRACING_MD = REPO / "docs" / "tracing.md"
+
+#: Pattern of a stable event name as written in docs and code.
+_NAME_RE = re.compile(
+    r"`((?:sim|monitor|rule|registry|commander|hpcm|app|rescheduler)"
+    r"\.[a-z_]+)`"
+)
+
+
+def _ev_constants() -> dict:
+    return {
+        attr: getattr(events_mod, attr)
+        for attr in dir(events_mod)
+        if attr.startswith("EV_")
+    }
+
+
+def test_every_constant_is_catalogued_and_vice_versa():
+    assert set(_ev_constants().values()) == set(EVENTS)
+
+
+def test_catalogue_entries_are_well_formed():
+    for name, spec in EVENTS.items():
+        assert spec.name == name
+        assert spec.kind in {"event", "span"}
+        assert spec.module.startswith("repro.")
+        assert spec.doc
+        layer = name.split(".", 1)[0]
+        assert re.fullmatch(r"[a-z_]+\.[a-z_]+", name), name
+        assert layer in {"sim", "monitor", "rule", "registry",
+                         "commander", "hpcm", "app", "rescheduler"}
+
+
+def test_every_event_name_documented_in_tracing_md():
+    text = TRACING_MD.read_text(encoding="utf-8")
+    documented = set(_NAME_RE.findall(text))
+    missing = set(EVENTS) - documented
+    assert not missing, f"undocumented events: {sorted(missing)}"
+
+
+def test_docs_mention_no_unknown_event_names():
+    text = TRACING_MD.read_text(encoding="utf-8")
+    unknown = set(_NAME_RE.findall(text)) - set(EVENTS)
+    assert not unknown, f"docs name unknown events: {sorted(unknown)}"
+
+
+def test_every_constant_is_emitted_somewhere():
+    """Each EV_* constant is referenced outside the trace package —
+    a catalogued event nothing emits is dead weight."""
+    source = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in SRC.rglob("*.py")
+        if path.name != "events.py" or "trace" not in path.parts
+    )
+    unreferenced = [
+        attr for attr in _ev_constants()
+        if attr not in source
+    ]
+    assert not unreferenced, f"never emitted: {unreferenced}"

@@ -1,0 +1,41 @@
+"""examples/migration_trace.py runs clean and emits a loadable trace."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.trace import load_jsonl
+from repro.trace.events import (
+    EV_COMMANDER_SIGNAL,
+    EV_HPCM_MIGRATION,
+    EV_MONITOR_SAMPLE,
+    EV_REGISTRY_DECIDE,
+    EV_RULE_EVALUATE,
+)
+
+REPO = Path(repro.__file__).resolve().parents[2]
+EXAMPLE = REPO / "examples" / "migration_trace.py"
+
+
+def test_example_runs_clean_and_trace_loads(tmp_path):
+    out = tmp_path / "example_trace.jsonl"
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLE), str(out)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "migration timeline" in proc.stdout
+    assert "trace written" in proc.stdout
+
+    records = load_jsonl(str(out))
+    names = {r.name for r in records}
+    assert {EV_MONITOR_SAMPLE, EV_RULE_EVALUATE, EV_REGISTRY_DECIDE,
+            EV_COMMANDER_SIGNAL, EV_HPCM_MIGRATION} <= names
+    (mig,) = [r for r in records
+              if r.name == EV_HPCM_MIGRATION and r.dur is not None]
+    assert mig.attrs["succeeded"] is True
