@@ -3,30 +3,34 @@
 Paper: 1-minute load 0.256 without vs 0.266 with the rescheduler
 (+3.9 %); 5-minute 0.262 vs 0.263 (+0.4 %); CPU utilization overhead
 3.46 %.
+
+Runs through the sweep-cell layer (``repro.perf``) so the numbers here
+are byte-for-byte the ones ``repro sweep fig5`` produces and caches.
 """
 
-from repro.analysis import run_overhead_experiment
-from repro.metrics import ascii_plot
+from repro.metrics import TimeSeries, ascii_plot
+from repro.perf import run_cell
 
 from conftest import report
 
 
 def test_fig5_load_overhead(benchmark, once):
-    result = once(run_overhead_experiment, duration=3600, seed=0)
+    s = once(run_cell, "fig5", {"duration": 3600.0}, 0)
     report(benchmark, "Figure 5 — load-average overhead", [
-        ("1-min load, without", 0.256, round(result.load1_without, 3)),
-        ("1-min load, with", 0.266, round(result.load1_with, 3)),
+        ("1-min load, without", 0.256, round(s["load1_without"], 3)),
+        ("1-min load, with", 0.266, round(s["load1_with"], 3)),
         ("1-min load overhead %", 3.9,
-         round(100 * result.load1_overhead, 2)),
+         round(100 * s["load1_overhead"], 2)),
         ("5-min load overhead %", 0.4,
-         round(100 * result.load5_overhead, 2)),
+         round(100 * s["load5_overhead"], 2)),
         ("CPU util overhead %", 3.46,
-         round(100 * result.cpu_overhead, 2)),
+         round(100 * s["cpu_overhead"], 2)),
     ])
     print(ascii_plot(
-        [result.without_rs.load1, result.with_rs.load1],
+        [TimeSeries.from_points(s["series"]["load1_without"]),
+         TimeSeries.from_points(s["series"]["load1_with"])],
         title="1-minute load average (sampled sensor)",
         labels=["without rescheduler", "with rescheduler"],
     ))
-    assert 0.0 < result.load1_overhead < 0.06
-    assert 0.0 < result.cpu_overhead < 0.06
+    assert 0.0 < s["load1_overhead"] < 0.06
+    assert 0.0 < s["cpu_overhead"] < 0.06

@@ -2,27 +2,30 @@
 
 Paper: send 5.82 KB/s and receive 5.99 KB/s both with and without the
 rescheduler — "almost no overhead for communication".
+
+Runs through the sweep-cell layer (``repro.perf``) so the numbers here
+are byte-for-byte the ones ``repro sweep fig6`` produces and caches.
 """
 
-from repro.analysis import run_overhead_experiment
-from repro.metrics import ascii_plot
+from repro.metrics import TimeSeries, ascii_plot
+from repro.perf import run_cell
 
 from conftest import report
 
 
 def test_fig6_comm_overhead(benchmark, once):
-    result = once(run_overhead_experiment, duration=3600, seed=1)
+    s = once(run_cell, "fig6", {"duration": 3600.0}, 1)
     report(benchmark, "Figure 6 — communication overhead", [
-        ("send KB/s, without", 5.82, round(result.send_kbs_without, 2)),
-        ("send KB/s, with", 5.82, round(result.send_kbs_with, 2)),
-        ("recv KB/s, without", 5.99, round(result.recv_kbs_without, 2)),
-        ("recv KB/s, with", 5.99, round(result.recv_kbs_with, 2)),
-        ("comm overhead %", 0.0, round(100 * result.comm_overhead, 2)),
+        ("send KB/s, without", 5.82, round(s["send_kbs_without"], 2)),
+        ("send KB/s, with", 5.82, round(s["send_kbs_with"], 2)),
+        ("recv KB/s, without", 5.99, round(s["recv_kbs_without"], 2)),
+        ("recv KB/s, with", 5.99, round(s["recv_kbs_with"], 2)),
+        ("comm overhead %", 0.0, round(100 * s["comm_overhead"], 2)),
     ])
     print(ascii_plot(
-        [result.without_rs.recv_kbs, result.with_rs.recv_kbs,
-         result.without_rs.send_kbs, result.with_rs.send_kbs],
-        title="KB/s (upper curves: receiving; lower: sending)",
-        labels=["recv w/o", "recv w/", "send w/o", "send w/"],
+        [TimeSeries.from_points(s["series"]["send_without"]),
+         TimeSeries.from_points(s["series"]["send_with"])],
+        title="KB/s sent (with and without the rescheduler)",
+        labels=["send w/o", "send w/"],
     ))
-    assert abs(result.comm_overhead) < 0.02
+    assert abs(s["comm_overhead"]) < 0.02

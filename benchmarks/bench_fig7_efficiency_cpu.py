@@ -5,35 +5,37 @@ overloaded; the monitor needs ~72 s to be sure (warm-up); decision
 0.002 s; initialized process up within 0.3 s (LAM DPM); 1.4 s to the
 nearest poll-point; resume < 1 s, overlapping restoration; complete
 after ~7.5 s, when the source CPU drops and serves the injected task.
+
+Runs through the sweep-cell layer (``repro.perf``) so the numbers here
+are byte-for-byte the ones ``repro sweep fig7`` produces and caches.
 """
 
-from repro.analysis import run_efficiency_experiment
-from repro.metrics import ascii_plot
+from repro.metrics import TimeSeries, ascii_plot
+from repro.perf import run_cell
 
 from conftest import report
 
 
 def test_fig7_efficiency_cpu(benchmark, once):
-    result = once(run_efficiency_experiment)
-    phases = result.phase_summary()
+    s = once(run_cell, "fig7", {}, 0)
     report(benchmark, "Figure 7 — migration phases", [
-        ("warm-up s", 72.0, round(phases["warmup_s"], 1)),
-        ("decision s", 0.002, round(phases["decision_s"], 4)),
-        ("init (spawn) s", 0.3, round(phases["init_s"], 3)),
-        ("to poll-point s", 1.4, round(phases["to_pollpoint_s"], 2)),
-        ("resume s", 1.0, round(phases["resume_s"], 2)),
-        ("total s", 7.5, round(phases["total_s"], 2)),
-        ("state moved MB", "n/a", round(phases["memory_mb"], 1)),
+        ("warm-up s", 72.0, round(s["warmup_s"], 1)),
+        ("decision s", 0.002, round(s["decision_s"], 4)),
+        ("init (spawn) s", 0.3, round(s["init_s"], 3)),
+        ("to poll-point s", 1.4, round(s["to_pollpoint_s"], 2)),
+        ("resume s", 1.0, round(s["resume_s"], 2)),
+        ("total s", 7.5, round(s["total_s"], 2)),
+        ("state moved MB", "n/a", round(s["memory_mb"], 1)),
     ])
+    cpu_dest = TimeSeries.from_points(s["series"]["cpu_dest"])
     print(ascii_plot(
-        [result.cpu_source, result.cpu_dest],
+        [TimeSeries.from_points(s["series"]["cpu_source"]), cpu_dest],
         title="CPU utilization (source drops after migration)",
         labels=["source ws1", "destination ws2"],
     ))
-    assert result.checksum_ok
-    assert result.record.succeeded
+    assert s["checksum_ok"]
+    assert s["succeeded"]
     # Source frees capacity for the additional task; dest picks up.
-    rec = result.record
-    dest_after = result.cpu_dest.mean(t_min=rec.completed_at + 10,
-                                      t_max=rec.completed_at + 110)
+    dest_after = cpu_dest.mean(t_min=s["completed_at"] + 10,
+                               t_max=s["completed_at"] + 110)
     assert dest_after > 0.9

@@ -4,33 +4,35 @@ Paper: the migration shows as a communication burst; "the initialized
 process resumes execution in parallel with the data collection and
 restoration. That is, the process resumes execution at the destination
 before the migration ends."
+
+Runs through the sweep-cell layer (``repro.perf``) so the numbers here
+are byte-for-byte the ones ``repro sweep fig8`` produces and caches.
 """
 
-from repro.analysis import run_efficiency_experiment
-from repro.metrics import ascii_plot
+from repro.metrics import TimeSeries, ascii_plot
+from repro.perf import run_cell
 
 from conftest import report
 
 
 def test_fig8_efficiency_comm(benchmark, once):
-    result = once(run_efficiency_experiment)
-    rec = result.record
-    burst_kbs = result.recv_dest.max(
-        t_min=rec.ordered_at, t_max=rec.completed_at + 15
+    s = once(run_cell, "fig8", {}, 0)
+    recv_dest = TimeSeries.from_points(s["series"]["recv_dest"])
+    burst_kbs = recv_dest.max(
+        t_min=s["ordered_at"], t_max=s["completed_at"] + 15
     )
-    baseline_kbs = result.recv_dest.mean(
-        t_min=result.app_started_at, t_max=result.load_injected_at
+    baseline_kbs = recv_dest.mean(
+        t_min=s["app_started_at"], t_max=s["load_injected_at"]
     )
-    overlap = rec.completed_at - rec.resumed_at
+    overlap = s["completed_at"] - s["resumed_at"]
     report(benchmark, "Figure 8 — migration communication", [
         ("state-transfer burst KB/s", "spike", round(burst_kbs, 0)),
         ("baseline KB/s", "~0", round(baseline_kbs, 2)),
         ("resume before complete s", ">0", round(overlap, 2)),
-        ("memory state MB", "n/a",
-         round(rec.memory_bytes / 2**20, 1)),
+        ("memory state MB", "n/a", round(s["memory_mb"], 1)),
     ])
     print(ascii_plot(
-        [result.send_source, result.recv_dest],
+        [TimeSeries.from_points(s["series"]["send_source"]), recv_dest],
         title="KB/s around the migration window",
         labels=["source send", "destination recv"],
     ))

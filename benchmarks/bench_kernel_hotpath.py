@@ -1,0 +1,206 @@
+"""Hot-path microbenchmarks: event dispatch and rule evaluation.
+
+Two ratios guard the fast-path work on the simulation core:
+
+* **events/sec** — a bank of ticker processes sleeping through the
+  optimized kernel (bare-delay fast path) versus the frozen
+  pre-optimization snapshot in ``legacy_kernel.py``.  The optimized
+  kernel must dispatch at least 2× faster.
+* **rules/sec** — host-state evaluation of the paper's five-rule set
+  through the compiled-closure evaluator versus the pre-optimization
+  algorithm (per-call AST interpretation plus per-call top-level
+  partition), reimplemented here verbatim as the baseline.
+
+``python benchmarks/bench_kernel_hotpath.py`` regenerates the
+committed ``benchmarks/BENCH_kernel.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))  # for legacy_kernel
+
+import legacy_kernel
+
+from repro.rules import (
+    ComplexRule,
+    RuleEvaluator,
+    SimpleRule,
+    SystemState,
+    classify,
+    paper_ruleset,
+)
+from repro.rules import expr as expr_mod
+from repro.sim import Environment
+
+from conftest import report
+
+#: Canned measurements: every rule lands in a different state so the
+#: whole expression tree is exercised.
+SCRIPT_VALUES = {
+    "processorStatus.sh": 44,   # < 45 → overloaded
+    "ntStatIpv4.sh": 800,       # 700 < v <= 900 → busy
+    "loadAvg.sh": 2,            # < 5 → free
+    "procCount.sh": 400,        # 300 < v <= 500 → busy
+}
+
+DISPATCH_TICKERS = 10
+DISPATCH_STEPS = 10_000
+RULE_EVALS = 4_000
+REPEATS = 3
+
+
+# ------------------------------------------------------------- dispatch
+def _run_optimized() -> int:
+    """Dispatch DISPATCH_TICKERS × DISPATCH_STEPS sleep events."""
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(DISPATCH_STEPS):
+            yield 1.0  # bare-delay fast path
+
+    for _ in range(DISPATCH_TICKERS):
+        env.process(ticker(env))
+    env.run()
+    return DISPATCH_TICKERS * DISPATCH_STEPS
+
+
+def _run_legacy() -> int:
+    env = legacy_kernel.Environment()
+
+    def ticker(env):
+        for _ in range(DISPATCH_STEPS):
+            yield env.timeout(1.0)
+
+    for _ in range(DISPATCH_TICKERS):
+        env.process(ticker(env))
+    env.run()
+    return DISPATCH_TICKERS * DISPATCH_STEPS
+
+
+# ---------------------------------------------------------------- rules
+def _make_engine():
+    def engine(script, param):
+        return SCRIPT_VALUES[script]
+
+    return engine
+
+
+def _run_rules_compiled() -> int:
+    evaluator = RuleEvaluator(paper_ruleset(), _make_engine())
+    for _ in range(RULE_EVALS):
+        evaluator.evaluate_host_state()
+    return RULE_EVALS
+
+
+def _run_rules_interpreted() -> int:
+    """The pre-optimization algorithm, transliterated: complex ASTs
+    cached for evaluation but *re-parsed on every host-state call* for
+    the top-level partition, expressions interpreted by AST walk, and
+    cycle detection through per-call frozensets."""
+    ruleset = paper_ruleset()
+    engine = _make_engine()
+    ast_cache = {}
+
+    def evaluate_rule(rule, _stack=None):
+        if isinstance(rule, int):
+            rule = ruleset.get(rule)
+        stack = _stack or frozenset()
+        if rule.number in stack:
+            raise ValueError("cycle")
+        if isinstance(rule, SimpleRule):
+            return classify(float(engine(rule.script, rule.param)),
+                            rule.operator, rule.busy, rule.overloaded)
+        stack = stack | {rule.number}
+        ast = ast_cache.get(rule.number)
+        if ast is None:
+            ast = ast_cache[rule.number] = expr_mod.parse_expression(
+                rule.expression)
+
+        def resolve(number):
+            return evaluate_rule(number, _stack=stack)
+
+        return expr_mod.evaluate(ast, resolve)
+
+    for _ in range(RULE_EVALS):
+        referenced = set()
+        for rule in ruleset:
+            if isinstance(rule, ComplexRule):
+                ast = expr_mod.parse_expression(rule.expression)
+                referenced |= ast.references()
+        states = [evaluate_rule(rule) for rule in ruleset
+                  if rule.number not in referenced]
+        SystemState(max(int(s) for s in states))
+    return RULE_EVALS
+
+
+# ------------------------------------------------------------ measuring
+def _rate(fn) -> float:
+    """Best-of-REPEATS operations/second (min wall time wins)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        ops = fn()
+        best = min(best, time.perf_counter() - start)
+    return ops / best
+
+
+def measure() -> dict:
+    dispatch_new = _rate(_run_optimized)
+    dispatch_old = _rate(_run_legacy)
+    rules_new = _rate(_run_rules_compiled)
+    rules_old = _rate(_run_rules_interpreted)
+    return {
+        "dispatch": {
+            "optimized_events_per_sec": round(dispatch_new),
+            "legacy_events_per_sec": round(dispatch_old),
+            "speedup": round(dispatch_new / dispatch_old, 2),
+        },
+        "rules": {
+            "compiled_evals_per_sec": round(rules_new),
+            "interpreted_evals_per_sec": round(rules_old),
+            "speedup": round(rules_new / rules_old, 2),
+        },
+    }
+
+
+def test_kernel_hotpath(benchmark, once):
+    r = once(measure)
+    report(benchmark, "Kernel hot-path microbenchmarks", [
+        ("dispatch events/s (optimized)", "≥2× legacy",
+         r["dispatch"]["optimized_events_per_sec"]),
+        ("dispatch events/s (legacy)", "-",
+         r["dispatch"]["legacy_events_per_sec"]),
+        ("dispatch speedup ×", ">=2.0", r["dispatch"]["speedup"]),
+        ("rule evals/s (compiled)", "-",
+         r["rules"]["compiled_evals_per_sec"]),
+        ("rule evals/s (interpreted)", "-",
+         r["rules"]["interpreted_evals_per_sec"]),
+        ("rules speedup ×", ">1.0", r["rules"]["speedup"]),
+    ])
+    assert r["dispatch"]["speedup"] >= 2.0
+    assert r["rules"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    baseline = {
+        "description": "Kernel hot-path baseline; regenerate with "
+                       "`python benchmarks/bench_kernel_hotpath.py`.",
+        "python": sys.version.split()[0],
+        "workload": {
+            "dispatch_events": DISPATCH_TICKERS * DISPATCH_STEPS,
+            "rule_evaluations": RULE_EVALS,
+            "repeats_best_of": REPEATS,
+        },
+        "results": measure(),
+    }
+    path = os.path.join(os.path.dirname(__file__), "BENCH_kernel.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(baseline["results"], indent=2))
+    print(f"baseline written: {path}")

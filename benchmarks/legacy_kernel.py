@@ -1,0 +1,189 @@
+"""Frozen pre-optimization simulation kernel (reference baseline).
+
+This is a self-contained snapshot of ``repro.sim.kernel`` +
+``repro.sim.events`` as they stood *before* the hot-path work
+(PR "fast-path simulation core"), trimmed to what the dispatch
+microbenchmark exercises: ``Environment``, ``Event``, ``Timeout``,
+``Process``.  ``bench_kernel_hotpath.py`` runs the same workload on
+this module and on ``repro.sim`` and reports the speedup; keeping the
+baseline frozen here makes the ratio measurable on any machine, not
+just against a number recorded on the author's.
+
+Do not optimize this file — its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import SimulationError, StopSimulation
+
+PENDING = object()
+URGENT = 0
+NORMAL = 1
+Infinity = float("inf")
+
+
+class Event:
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Any"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+
+class Timeout(Event):
+    __slots__ = ("delay",)
+
+    def __init__(self, env: Any, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    __slots__ = ()
+
+    def __init__(self, env: Any, process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: Any, generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = Initialize(env, self)
+
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(
+                            SimulationError(repr(exc))
+                        )
+            except StopIteration as stop:
+                self._target = None
+                env._active_proc = None
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_proc = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{next_event!r}"
+                )
+                self._ok = False
+                self._value = err
+                env.schedule(self)
+                return
+
+            if next_event.callbacks is not None:
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            event = next_event
+
+        env._active_proc = None
+
+
+class Environment:
+    """The pre-optimization dispatch loop, verbatim."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+        self.trace_hook: Optional[Any] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+
+    def step(self) -> None:
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(repr(exc))  # pragma: no cover
+
+    def run(self, until: Optional[float] = None) -> Any:
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:  # pragma: no cover - not used here
+            return stop.value
+        return None

@@ -90,6 +90,37 @@ def export_efficiency(result: EfficiencyResult,
     return paths
 
 
+def export_sweep(payload: Mapping, path: str) -> str:
+    """Flatten a ``repro sweep`` outcome payload to long-format CSV.
+
+    One row per scalar metric per cell (series are skipped — they live
+    in the JSON summaries); nested dicts like table2's per-policy rows
+    flatten with dotted names (``policy2.total_s``).
+    """
+
+    def scalars(summary: Mapping, prefix: str = ""):
+        for name, value in sorted(summary.items()):
+            if name == "series":
+                continue
+            if isinstance(value, Mapping):
+                yield from scalars(value, prefix=f"{prefix}{name}.")
+            else:
+                yield f"{prefix}{name}", value
+
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["experiment", "replica", "seed",
+                         "metric", "value"])
+        for cell in payload["cells"]:
+            for metric, value in scalars(cell["summary"]):
+                writer.writerow([
+                    cell["experiment"], cell["replica"], cell["seed"],
+                    metric,
+                    repr(value) if isinstance(value, float) else value,
+                ])
+    return path
+
+
 def export_table2(results: Mapping[int, PolicyRunResult],
                   path: str) -> str:
     """Table 2 as CSV."""

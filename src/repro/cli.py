@@ -7,6 +7,8 @@
     python -m repro run fig7 --trace out.jsonl
     python -m repro run all --out results/
     python -m repro trace fig7 [--out trace.json] [--format chrome]
+    python -m repro sweep fig5 fig7 --replicas 3 --jobs 4 \
+        --cache-dir .sweep-cache --out sweep.json
     python -m repro lint examples/ [--format json] [--strict]
 
 ``repro run`` regenerates a §5 experiment, prints a paper-vs-measured
@@ -14,8 +16,11 @@ table (and ASCII plots for the figures), and — with ``--out`` —
 exports the raw series as CSV; ``--trace PATH`` additionally records
 the structured migration-lifecycle trace (see ``docs/tracing.md``).
 ``repro trace`` runs an experiment purely for its trace and prints the
-per-phase span breakdown.  ``repro lint`` statically checks rule
-files, policy files and application schemas (see ``docs/linting.md``).
+per-phase span breakdown.  ``repro sweep`` fans independent replicas
+across a process pool with deterministic per-replica seeds and a
+content-hash result cache (see ``docs/performance.md``).  ``repro
+lint`` statically checks rule files, policy files and application
+schemas (see ``docs/linting.md``).
 
 The pre-subcommand spelling ``repro fig5`` still works through a
 back-compat shim.
@@ -246,6 +251,78 @@ def _trace(args) -> int:
     return rc
 
 
+def _parse_overrides(items) -> dict:
+    """``--set key=value`` pairs; values parse as JSON when they can
+    (``--set duration=600``) and stay strings otherwise."""
+    import json
+
+    config = {}
+    for item in items or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"repro sweep: --set expects key=value, "
+                             f"got {item!r}")
+        try:
+            config[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            config[key] = raw
+    return config
+
+
+def _sweep(args) -> int:
+    import json
+
+    from .perf import CELLS, ResultCache, plan_sweep, run_sweep
+
+    experiments = args.experiments
+    if "all" in experiments:
+        experiments = sorted(CELLS)
+    cells = plan_sweep(experiments, replicas=args.replicas,
+                       base_seed=args.seed,
+                       config=_parse_overrides(args.set))
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    if args.dry_run:
+        rows = [
+            (cell.experiment, cell.replica, cell.seed,
+             "cached" if cache is not None and cache.contains(cell.key)
+             else "would run")
+            for cell in cells
+        ]
+        print(format_table(["experiment", "replica", "seed", "status"],
+                           rows, title=f"sweep plan — {len(cells)} cells"))
+        return 0
+
+    outcome = run_sweep(cells, jobs=args.jobs, cache=cache, log=print)
+    rows = [
+        (cell.experiment, cell.replica, cell.seed,
+         "cache" if hit else "ran")
+        for cell, hit in zip(outcome.cells, outcome.cached)
+    ]
+    print(format_table(
+        ["experiment", "replica", "seed", "source"], rows,
+        title=f"sweep — {outcome.executed} ran, "
+              f"{outcome.cache_hits} from cache",
+    ))
+    payload = outcome.as_payload()
+    if args.out:
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary JSON written: {args.out}")
+    if args.csv:
+        from .analysis.export import export_sweep
+
+        parent = os.path.dirname(args.csv)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        print(f"summary CSV written: {export_sweep(payload, args.csv)}")
+    return 0
+
+
 def _lint(args) -> int:
     from .lint import (
         LintUsageError, exit_code, lint_paths, render_json, render_text,
@@ -304,6 +381,38 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="trace format (default: from extension)")
     trace.set_defaults(func=_trace)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan experiment replicas across a process pool, with "
+             "deterministic seeding and result caching",
+    )
+    from .perf.experiments import CELLS as _sweep_cells
+
+    sweep.add_argument("experiments", nargs="+",
+                       choices=sorted(_sweep_cells) + ["all"],
+                       help="experiments to sweep ('all' for every one)")
+    sweep.add_argument("--replicas", type=int, default=1,
+                       help="replicas per experiment (default 1)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; per-cell seeds are derived by "
+                            "content hash (default 0)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="JSON result cache; warm re-runs skip "
+                            "completed cells")
+    sweep.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="config override passed to every cell "
+                            "(repeatable; values parsed as JSON)")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the full summary JSON here")
+    sweep.add_argument("--csv", default=None, metavar="PATH",
+                       help="also flatten scalar metrics to CSV")
+    sweep.add_argument("--dry-run", action="store_true",
+                       help="print the plan (and cache status) "
+                            "without running anything")
+    sweep.set_defaults(func=_sweep)
 
     lint = sub.add_parser(
         "lint",

@@ -61,7 +61,7 @@ class DutyCycleLoad:
             if busy > 0:
                 yield self.host.cpu.execute(busy, label=self.name)
             idle = max(period - busy / self.host.cpu.speed, 0.0)
-            yield env.timeout(idle if idle > 0 else period)
+            yield idle if idle > 0 else period  # bare-delay fast path
 
     def stop(self) -> None:
         self._stopped = True
@@ -206,7 +206,7 @@ class ChatterLoad:
         while not self._stopped:
             yield network.transfer(a, b, self.bytes_out, label=self.name)
             yield network.transfer(b, a, self.bytes_back, label=self.name)
-            yield env.timeout(self.interval)
+            yield self.interval  # bare-delay fast path
 
     def stop(self) -> None:
         self._stopped = True

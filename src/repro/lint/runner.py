@@ -43,6 +43,19 @@ _SKIP_EXTENSIONS = (
     ".py", ".pyc", ".md", ".rst", ".txt", ".csv", ".toml", ".cfg",
     ".ini", ".yml", ".yaml", ".sh", ".lock",
 )
+#: Directory names never descended into: anything hidden (dotted),
+#: plus tool/VCS output that can contain thousands of irrelevant
+#: files (a vendored node_modules would otherwise dominate the walk).
+_SKIP_DIRS = frozenset({
+    "__pycache__", "node_modules", "venv", "env",
+    "build", "dist", "htmlcov",
+})
+
+
+def _keep_dir(name: str) -> bool:
+    return (not name.startswith(".")
+            and name not in _SKIP_DIRS
+            and not name.endswith(".egg-info"))
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
@@ -51,10 +64,7 @@ def collect_files(paths: Sequence[str]) -> List[str]:
     for path in paths:
         if os.path.isdir(path):
             for dirpath, dirnames, filenames in os.walk(path):
-                dirnames[:] = sorted(
-                    d for d in dirnames
-                    if not d.startswith(".") and d != "__pycache__"
-                )
+                dirnames[:] = sorted(filter(_keep_dir, dirnames))
                 for name in sorted(filenames):
                     if not name.startswith("."):
                         found.append(os.path.join(dirpath, name))

@@ -14,21 +14,45 @@ class TimeSeries:
         self.name = name
         self._times: List[float] = []
         self._values: List[float] = []
+        # Array views are materialized lazily and invalidated on append,
+        # so repeated stat queries over a settled series don't rebuild
+        # the ndarrays on every property access.
+        self._times_arr: Optional[np.ndarray] = None
+        self._values_arr: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_points(
+        cls, points: "List[Tuple[float, float]]", name: str = ""
+    ) -> "TimeSeries":
+        """Rebuild a series from ``points()`` output (e.g. after a
+        round-trip through a JSON sweep-cache summary)."""
+        ts = cls(name)
+        for t, value in points:
+            ts.append(t, value)
+        return ts
 
     def append(self, t: float, value: float) -> None:
         if self._times and t < self._times[-1]:
             raise ValueError("timestamps must be non-decreasing")
         self._times.append(float(t))
         self._values.append(float(value))
+        self._times_arr = None
+        self._values_arr = None
 
     # -- views ------------------------------------------------------------
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._times)
+        arr = self._times_arr
+        if arr is None:
+            arr = self._times_arr = np.asarray(self._times)
+        return arr
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._values)
+        arr = self._values_arr
+        if arr is None:
+            arr = self._values_arr = np.asarray(self._values)
+        return arr
 
     def points(self) -> List[Tuple[float, float]]:
         return list(zip(self._times, self._values))

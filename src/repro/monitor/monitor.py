@@ -127,12 +127,12 @@ class Monitor:
     def _push_loop(self):
         """Periodic soft-state pushes (the paper's chosen model)."""
         if self._phase:
-            yield self.env.timeout(self._phase)
+            yield self._phase  # bare-delay fast path
         while not self._stopped:
             interval = self._current_interval()
             if self.rng is not None:
                 interval *= 1.0 + 0.04 * (float(self.rng.random()) - 0.5)
-            yield self.env.timeout(interval)
+            yield interval  # bare-delay fast path
             if self._stopped:
                 break
             yield from self._cycle()

@@ -1,0 +1,78 @@
+"""Content-addressed JSON result cache for sweep cells.
+
+A cell's identity is the SHA-256 of the canonical JSON encoding of
+``{experiment, config, seed, version}``; its summary is stored as one
+pretty-printed JSON file named after that key.  Changing any config
+value (or bumping :data:`CACHE_VERSION` when summaries change shape)
+changes the key, so stale entries are never *read* — they are merely
+left behind, and ``repro sweep --no-cache`` or deleting the directory
+clears them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Bump when the summary schema of any cell changes incompatibly.
+CACHE_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Stable encoding: sorted keys, no incidental whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(experiment: str, config: Dict[str, Any], seed: int) -> str:
+    """Content hash identifying one sweep cell."""
+    material = canonical_json({
+        "experiment": experiment,
+        "config": config,
+        "seed": seed,
+        "version": CACHE_VERSION,
+    })
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` cell summaries with hit/miss stats."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``key``, or None (counted as a miss)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: Dict[str, Any]) -> str:
+        """Store ``entry``; atomic rename so readers never see a
+        half-written file."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        """Presence check that does not touch the hit/miss counters
+        (used by ``repro sweep --dry-run``)."""
+        return os.path.exists(self._path(key))

@@ -45,7 +45,10 @@ class SoftStateTable:
         self.env = env
         self.lease = float(lease)
         self._records: Dict[str, HostRecord] = {}
-        self._order: List[str] = []
+        #: Records in registration order, maintained incrementally so
+        #: the per-query cost is O(1) per record scanned — no list
+        #: rebuild from name lookups on every ``records()`` call.
+        self._record_list: List[HostRecord] = []
 
     # -- mutation ---------------------------------------------------------
     def register(self, host: str, static_info: dict) -> HostRecord:
@@ -59,7 +62,7 @@ class SoftStateTable:
                 last_update=self.env.now,
             )
             self._records[host] = record
-            self._order.append(host)
+            self._record_list.append(record)
         else:
             record.static_info = dict(static_info)
             record.last_update = self.env.now
@@ -86,9 +89,9 @@ class SoftStateTable:
         return record
 
     def unregister(self, host: str) -> None:
-        self._records.pop(host, None)
-        if host in self._order:
-            self._order.remove(host)
+        record = self._records.pop(host, None)
+        if record is not None:
+            self._record_list.remove(record)
 
     # -- queries --------------------------------------------------------
     def effective_state(self, record: HostRecord) -> SystemState:
@@ -111,21 +114,33 @@ class SoftStateTable:
         return self._records.get(host)
 
     def records(self) -> List[HostRecord]:
-        """All records in registration order (the first-fit order)."""
-        return [self._records[name] for name in self._order]
+        """All records in registration order (the first-fit order).
+
+        Returns the table's own incrementally-maintained list; callers
+        must treat it as read-only.
+        """
+        return self._record_list
 
     def available(self) -> List[HostRecord]:
         """Records whose lease is current."""
+        cutoff = self.env.now - self.lease
+        unavail = SystemState.UNAVAILABLE
+        # Fresh records skip effective_state() entirely; only expired
+        # ones take the slow path, which owns the once-per-lapse trace.
         return [
-            r for r in self.records()
-            if self.effective_state(r) is not SystemState.UNAVAILABLE
+            r for r in self._record_list
+            if (r.state is not unavail if r.last_update >= cutoff
+                else self.effective_state(r) is not unavail)
         ]
 
     def free_hosts(self) -> List[HostRecord]:
         """Records currently in the FREE state (migration targets)."""
+        cutoff = self.env.now - self.lease
+        free = SystemState.FREE
         return [
-            r for r in self.records()
-            if self.effective_state(r) is SystemState.FREE
+            r for r in self._record_list
+            if (r.state is free if r.last_update >= cutoff
+                else self.effective_state(r) is free)
         ]
 
     def __len__(self) -> int:

@@ -8,7 +8,7 @@ thresholds, and combines complex rules through the expression AST.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from . import expr as expr_mod
 from .model import ComplexRule, RuleSet, SimpleRule
@@ -26,6 +26,14 @@ class RuleEvaluator:
 
     ``script_engine(script_name, param) -> float`` returns the current
     measurement for a rule.
+
+    Complex-rule expressions are parsed **and compiled to closures**
+    once per evaluator (:func:`repro.rules.expr.compile_node`), and the
+    top-level-rule partition of the set is cached, so the per-monitor-
+    interval cost is only the leaf script calls — no AST walks, no
+    re-parsing, no rule-number re-resolution.  The caches key on the
+    rule-set size; :meth:`RuleSet.add` is append-only, so a size change
+    is the only way the set can evolve.
     """
 
     def __init__(
@@ -38,6 +46,10 @@ class RuleEvaluator:
         self.script_engine = script_engine
         self.n_levels = n_levels
         self._expr_cache: Dict[int, expr_mod.Node] = {}
+        #: rule number → compiled ``fn(resolve) -> level`` closure.
+        self._compiled: Dict[int, Callable] = {}
+        #: Cached (ruleset size, top-level rules) partition.
+        self._top_level: Optional[Tuple[int, List]] = None
 
     # -- single rules ---------------------------------------------------
     def evaluate_rule(
@@ -72,9 +84,8 @@ class RuleEvaluator:
             )
         return state
 
-    def _evaluate_complex(
-        self, rule: ComplexRule, stack: frozenset
-    ) -> SystemState:
+    def _ast(self, rule: ComplexRule) -> expr_mod.Node:
+        """Parse (once) and validate a complex rule's expression."""
         ast = self._expr_cache.get(rule.number)
         if ast is None:
             ast = expr_mod.parse_expression(rule.expression)
@@ -85,13 +96,47 @@ class RuleEvaluator:
                     f"not listed in rl_ruleNo"
                 )
             self._expr_cache[rule.number] = ast
+        return ast
+
+    def _evaluate_complex(
+        self, rule: ComplexRule, stack: frozenset
+    ) -> SystemState:
+        run = self._compiled.get(rule.number)
+        if run is None:
+            run = expr_mod.compile_node(self._ast(rule))
+            self._compiled[rule.number] = run
 
         def resolve(number: int) -> SystemState:
             return self.evaluate_rule(number, _stack=stack)
 
-        return expr_mod.evaluate(ast, resolve, n_levels=self.n_levels)
+        rounded = int(run(resolve) + 0.5)
+        top = self.n_levels - 1
+        if rounded < 0:
+            rounded = 0
+        elif rounded > top:
+            rounded = top
+        return SystemState.from_level(rounded, n_levels=self.n_levels)
 
     # -- whole-host state -------------------------------------------------
+    def _top_level_rules(self) -> List:
+        """Rules not referenced by any complex rule, cached per set size.
+
+        Rules referenced by complex rules are sub-rules; top-level
+        rules are the rest.
+        """
+        cached = self._top_level
+        version = len(self.ruleset.rules)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        referenced: set = set()
+        for rule in self.ruleset:
+            if isinstance(rule, ComplexRule):
+                referenced |= self._ast(rule).references()
+        top = [rule for rule in self.ruleset
+               if rule.number not in referenced]
+        self._top_level = (version, top)
+        return top
+
     def evaluate_host_state(
         self, root_rule: Optional[int] = None
     ) -> SystemState:
@@ -104,18 +149,8 @@ class RuleEvaluator:
                 tracer.event(EV_RULE_EVALUATE, state=state.name,
                              root=root_rule, rules=1)
             return state
-        # Rules referenced by complex rules are sub-rules; top-level
-        # rules are the rest.
-        referenced: set = set()
-        for rule in self.ruleset:
-            if isinstance(rule, ComplexRule):
-                ast = expr_mod.parse_expression(rule.expression)
-                referenced |= ast.references()
-        states = [
-            self.evaluate_rule(rule)
-            for rule in self.ruleset
-            if rule.number not in referenced
-        ]
+        top = self._top_level_rules()
+        states = [self.evaluate_rule(rule) for rule in top]
         state = (SystemState(max(int(s) for s in states))
                  if states else SystemState.FREE)
         if tracer.enabled:

@@ -179,6 +179,73 @@ def evaluate(
     return SystemState.from_level(rounded, n_levels=n_levels)
 
 
+# ------------------------------------------------------------- compiler
+def compile_node(node: Node) -> Callable[[Callable[[int], SystemState]], float]:
+    """Compile an AST into a closure ``fn(resolve) -> level``.
+
+    The returned closure computes exactly what :func:`_level` computes,
+    but with the tree structure baked into nested closures at compile
+    time: evaluating a compiled rule performs no ``isinstance`` dispatch
+    and no attribute walks — only the ``resolve`` calls at the leaves.
+    Monitors evaluate the same rule expression every interval, so the
+    one-time compilation cost amortizes after a handful of cycles.
+    """
+    if isinstance(node, RuleRef):
+        number = node.number
+
+        def run_ref(resolve: Callable[[int], SystemState]) -> float:
+            return float(int(resolve(number)))
+
+        return run_ref
+    if isinstance(node, WeightedSum):
+        compiled = tuple((w, compile_node(child))
+                        for w, child in node.terms)
+
+        def run_sum(resolve: Callable[[int], SystemState]) -> float:
+            total = 0.0
+            for weight, child in compiled:
+                total += weight * child(resolve)
+            return total
+
+        return run_sum
+    if isinstance(node, Combine):
+        left = compile_node(node.left)
+        right = compile_node(node.right)
+        combine = combine_and if node.op == "&" else combine_or
+
+        def run_combine(resolve: Callable[[int], SystemState]) -> float:
+            a = _round_state(left(resolve))
+            b = _round_state(right(resolve))
+            return float(int(combine(a, b)))
+
+        return run_combine
+    raise TypeError(f"unknown node {node!r}")  # pragma: no cover
+
+
+def compile_expression(
+    text: str, n_levels: int = 3
+) -> Callable[[Callable[[int], SystemState]], SystemState]:
+    """Parse + compile ``text`` into ``fn(resolve) -> SystemState``.
+
+    One-stop form of :func:`parse_expression` + :func:`compile_node`
+    with the final level-rounding folded in.
+    """
+    run = compile_node(parse_expression(text))
+    top = n_levels - 1
+
+    def evaluate_compiled(
+        resolve: Callable[[int], SystemState]
+    ) -> SystemState:
+        rounded = int(run(resolve) + 0.5)
+        if rounded < 0:
+            rounded = 0
+        elif rounded > top:
+            rounded = top
+        return SystemState.from_level(rounded, n_levels=n_levels)
+
+    return evaluate_compiled
+
+
 def _level(node: Node, resolve: Callable[[int], SystemState]) -> float:
     if isinstance(node, RuleRef):
         return float(int(resolve(node.number)))

@@ -4,13 +4,17 @@ The design follows the classic generator-coroutine DES structure (as in
 SimPy): an :class:`Event` is a one-shot occurrence with callbacks; a
 :class:`Process` wraps a generator that *yields* events to wait on them.
 
-Only the kernel (:mod:`repro.sim.kernel`) schedules events; this module
-holds the event state machines so the two files stay import-acyclic
-(events never import the kernel).
+This module holds the event state machines so the two files stay
+import-acyclic (events never import the kernel).  The hot triggering
+paths (``succeed``, timeout construction, process resumption) push
+directly onto the environment's heap — the layout of the heap entry
+``(time, priority, seq, event)`` is shared with
+:meth:`repro.sim.kernel.Environment.schedule` and must stay in sync.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import Interrupt, SimulationError
@@ -74,7 +78,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -90,14 +96,18 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, NORMAL, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Copy outcome of another (triggered) event into this one."""
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, NORMAL, seq, self))
 
     def defuse(self) -> None:
         """Mark a failed event as handled so the kernel won't re-raise."""
@@ -115,18 +125,26 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed ``delay``."""
+    """An event that fires after a fixed ``delay``.
+
+    Timeouts dominate the kernel's allocation profile (every simulated
+    wait is one), so construction is fully inlined: slot writes plus a
+    direct heap push, no ``super().__init__``/``schedule`` call chain.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: Any, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now + delay, NORMAL, seq, self))
 
 
 class Initialize(Event):
@@ -135,11 +153,13 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: Any, process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
-        env.schedule(self, priority=URGENT)
+        self._ok = True
+        self._defused = False
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now, URGENT, seq, self))
 
 
 class Interruption(Event):
@@ -166,9 +186,37 @@ class Interruption(Event):
             return  # terminated in the meantime; interrupt is a no-op
         # Detach the process from whatever it currently waits on, then
         # resume it with the failed (Interrupt) event.
-        if proc._target is not None and proc._resume in proc._target.callbacks:
-            proc._target.callbacks.remove(proc._resume)
+        if (proc._target is not None
+                and proc._resume_cb in proc._target.callbacks):
+            proc._target.callbacks.remove(proc._resume_cb)
+        if proc._target is proc._sleep_ev and proc._target is not None:
+            # The recycled sleep flyweight now has a stale heap entry
+            # (harmless: its callbacks list is empty) — retire it so
+            # the next bare-delay wait arms a fresh one.
+            proc._sleep_ev = None
+            proc._sleep_cbs = None
         proc._resume(self)
+
+
+class Sleep(Event):
+    """The reusable event behind the bare-delay fast path.
+
+    When a process yields a plain number (``yield 2.5`` instead of
+    ``yield env.timeout(2.5)``), the kernel parks it on this per-process
+    flyweight: the event object, its one-element callbacks list and the
+    bound resume method are all allocated once and recycled for every
+    subsequent bare-delay wait, so the hottest wait pattern costs zero
+    allocations.  Never constructed by user code.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: Any):
+        self.env = env
+        self.callbacks = None  # armed per wait by Process._resume
+        self._value = None
+        self._ok = True
+        self._defused = False
 
 
 class Process(Event):
@@ -176,9 +224,14 @@ class Process(Event):
 
     The process *is* an event: it triggers when the generator returns
     (successfully, with the generator's return value) or raises (failed).
+
+    Generators wait by yielding an :class:`Event` — or, as a fast path,
+    a plain non-negative number, which sleeps that many time units
+    (equivalent to ``yield env.timeout(delay)`` but allocation-free).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb",
+                 "_sleep_ev", "_sleep_cbs")
 
     def __init__(self, env: Any, generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -186,6 +239,12 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        #: The bound resume callback, created once — parking on an event
+        #: would otherwise allocate a fresh bound method per wait.
+        self._resume_cb = self._resume
+        #: Lazily-created flyweight for bare-delay yields (see Sleep).
+        self._sleep_ev: Optional[Sleep] = None
+        self._sleep_cbs: Optional[list] = None
         #: The event this process currently waits on.
         self._target: Optional[Event] = Initialize(env, self)
 
@@ -202,18 +261,19 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         env = self.env
         env._active_proc = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The waited-on event failed: throw into the generator.
                     event._defused = True
                     exc = event._value
                     if isinstance(exc, BaseException):
-                        next_event = self._generator.throw(exc)
+                        next_event = generator.throw(exc)
                     else:  # pragma: no cover - defensive
-                        next_event = self._generator.throw(
+                        next_event = generator.throw(
                             SimulationError(repr(exc))
                         )
             except StopIteration as stop:
@@ -221,17 +281,53 @@ class Process(Event):
                 env._active_proc = None
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self)
+                env._seq = seq = env._seq + 1
+                heappush(env._queue, (env._now, NORMAL, seq, self))
                 return
             except BaseException as exc:
                 self._target = None
                 env._active_proc = None
                 self._ok = False
                 self._value = exc
-                env.schedule(self)
+                env._seq = seq = env._seq + 1
+                heappush(env._queue, (env._now, NORMAL, seq, self))
                 return
 
-            if not isinstance(next_event, Event):
+            # Bare-delay fast path: a yielded number sleeps that long,
+            # recycling the per-process Sleep flyweight — no Timeout
+            # object, list, or bound method is allocated.
+            cls = next_event.__class__
+            if cls is float or cls is int:
+                if next_event < 0:
+                    self._target = None
+                    env._active_proc = None
+                    err = SimulationError(
+                        f"process {self.name!r} yielded a negative "
+                        f"delay: {next_event!r}"
+                    )
+                    self._ok = False
+                    self._value = err
+                    env._seq = seq = env._seq + 1
+                    heappush(env._queue, (env._now, NORMAL, seq, self))
+                    return
+                ev = self._sleep_ev
+                if ev is None:
+                    ev = Sleep(env)
+                    self._sleep_ev = ev
+                    self._sleep_cbs = [self._resume_cb]
+                ev.callbacks = self._sleep_cbs
+                self._target = ev
+                env._seq = seq = env._seq + 1
+                heappush(env._queue,
+                         (env._now + next_event, NORMAL, seq, ev))
+                break
+
+            # EAFP beats an isinstance() call here: every yielded event
+            # needs its callbacks list anyway, and non-events (no
+            # ``callbacks`` attribute) are a programming error.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 self._target = None
                 env._active_proc = None
                 err = SimulationError(
@@ -240,12 +336,13 @@ class Process(Event):
                 )
                 self._ok = False
                 self._value = err
-                env.schedule(self)
+                env._seq = seq = env._seq + 1
+                heappush(env._queue, (env._now, NORMAL, seq, self))
                 return
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Not yet processed: park on it.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = next_event
                 break
             # Already processed: consume its outcome immediately.

@@ -32,6 +32,31 @@ def test_lint_paths_missing_path():
         lint_paths(["/definitely/not/here"])
 
 
+def test_collect_files_skips_junk_directories(tmp_path):
+    from repro.lint.runner import collect_files
+
+    (tmp_path / "a.rules").write_text("rl_number: 1\n")
+    for junk in (".git", ".tox", "__pycache__", "node_modules",
+                 "venv", "build", "dist", "pkg.egg-info"):
+        d = tmp_path / junk
+        d.mkdir()
+        (d / "hidden.rules").write_text("rl_number: 9\n")
+    nested = tmp_path / "configs" / "node_modules"
+    nested.mkdir(parents=True)
+    (nested / "deep.rules").write_text("rl_number: 9\n")
+
+    files = collect_files([str(tmp_path)])
+    assert files == [str(tmp_path / "a.rules")]
+
+
+def test_collect_files_skips_hidden_files(tmp_path):
+    from repro.lint.runner import collect_files
+
+    (tmp_path / "a.rules").write_text("rl_number: 1\n")
+    (tmp_path / ".secret.rules").write_text("rl_number: 9\n")
+    assert collect_files([str(tmp_path)]) == [str(tmp_path / "a.rules")]
+
+
 def test_lint_paths_warns_when_nothing_lintable(tmp_path):
     (tmp_path / "README.md").write_text("# hi")
     diags = lint_paths([str(tmp_path)])

@@ -29,6 +29,18 @@ def test_append_and_views():
     assert not bool(TimeSeries())
 
 
+def test_array_views_cached_and_invalidated_on_append():
+    ts = make_series([(0, 1.0), (10, 2.0)])
+    first = ts.times
+    assert ts.times is first  # cached between appends
+    assert ts.values is ts.values
+    ts.append(20, 3.0)
+    refreshed = ts.times
+    assert refreshed is not first  # append invalidates the cache
+    assert list(refreshed) == [0, 10, 20]
+    assert list(ts.values) == [1.0, 2.0, 3.0]
+
+
 def test_non_decreasing_times_enforced():
     ts = make_series([(10, 1.0)])
     with pytest.raises(ValueError):

@@ -1,0 +1,44 @@
+"""Content-hash result cache."""
+
+from repro.perf import ResultCache, cache_key
+
+
+def test_key_depends_on_all_inputs():
+    base = cache_key("fig5", {"duration": 60.0}, 1)
+    assert cache_key("fig5", {"duration": 60.0}, 1) == base
+    assert cache_key("fig6", {"duration": 60.0}, 1) != base
+    assert cache_key("fig5", {"duration": 90.0}, 1) != base
+    assert cache_key("fig5", {"duration": 60.0}, 2) != base
+
+
+def test_key_ignores_dict_ordering():
+    assert (cache_key("fig5", {"a": 1, "b": 2}, 0)
+            == cache_key("fig5", {"b": 2, "a": 1}, 0))
+
+
+def test_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = cache_key("fig5", {}, 0)
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    cache.put(key, {"summary": {"x": 1.5}})
+    assert cache.contains(key)
+    entry = cache.get(key)
+    assert entry == {"summary": {"x": 1.5}}
+    assert cache.hits == 1 and cache.writes == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache_key("fig5", {}, 0)
+    path = cache.put(key, {"summary": {}})
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    assert cache.get(key) is None
+    assert cache.misses == 1
+
+
+def test_contains_does_not_touch_counters(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert not cache.contains(cache_key("fig5", {}, 0))
+    assert cache.hits == 0 and cache.misses == 0

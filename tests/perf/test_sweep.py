@@ -1,0 +1,122 @@
+"""Sweep runner: planning, serial/parallel equivalence, caching, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    ResultCache,
+    derive_seed,
+    plan_sweep,
+    run_cell,
+    run_sweep,
+)
+
+#: Small enough to simulate in well under a second per cell.
+QUICK = {"duration": 80.0, "settle": 20.0}
+
+
+# ------------------------------------------------------------- planning
+def test_plan_expands_experiments_by_replicas():
+    cells = plan_sweep(["fig5", "fig6"], replicas=3, base_seed=9,
+                       config=QUICK)
+    assert len(cells) == 6
+    assert [c.experiment for c in cells] == ["fig5"] * 3 + ["fig6"] * 3
+    assert cells[1].seed == derive_seed(9, "fig5", 1)
+    assert cells[0].seed != cells[1].seed
+
+
+def test_plan_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiments"):
+        plan_sweep(["fig5", "warp"])
+
+
+def test_plan_rejects_bad_replicas():
+    with pytest.raises(ValueError):
+        plan_sweep(["fig5"], replicas=0)
+
+
+# ------------------------------------------------- serial ≡ parallel
+def test_parallel_sweep_matches_serial():
+    cells = plan_sweep(["fig5"], replicas=2, base_seed=3, config=QUICK)
+    serial = run_sweep(cells, jobs=1)
+    parallel = run_sweep(cells, jobs=2)
+    assert serial.summaries == parallel.summaries
+    assert serial.executed == parallel.executed == 2
+
+
+def test_sweep_matches_direct_cell_run():
+    cells = plan_sweep(["fig5"], replicas=1, base_seed=3, config=QUICK)
+    outcome = run_sweep(cells, jobs=1)
+    direct = run_cell("fig5", QUICK, cells[0].seed)
+    assert outcome.summaries == [direct]
+
+
+# ------------------------------------------------------------ caching
+def test_warm_cache_skips_completed_cells(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cells = plan_sweep(["fig5"], replicas=2, base_seed=1, config=QUICK)
+    cold = run_sweep(cells, cache=cache)
+    assert cold.executed == 2 and cold.cache_hits == 0
+    warm = run_sweep(cells, cache=cache)
+    assert warm.executed == 0 and warm.cache_hits == 2
+    assert warm.summaries == cold.summaries
+
+
+def test_config_change_invalidates_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_sweep(plan_sweep(["fig5"], base_seed=1, config=QUICK),
+              cache=cache)
+    other = dict(QUICK, duration=100.0)
+    outcome = run_sweep(plan_sweep(["fig5"], base_seed=1, config=other),
+                        cache=cache)
+    assert outcome.executed == 1  # different key → no hit
+
+
+# ---------------------------------------------------------------- CLI
+def _sweep_args(tmp_path, *extra):
+    return ["sweep", "fig5", "--replicas", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--set", "duration=80", "--set", "settle=20", *extra]
+
+
+def test_cli_dry_run_executes_nothing(tmp_path, capsys):
+    assert main(_sweep_args(tmp_path, "--dry-run")) == 0
+    out = capsys.readouterr().out
+    assert "sweep plan" in out and "would run" in out
+    assert not (tmp_path / "cache").exists()
+
+
+def test_cli_sweep_writes_outputs_and_reuses_cache(tmp_path, capsys):
+    out_json = tmp_path / "sweep.json"
+    out_csv = tmp_path / "sweep.csv"
+    assert main(_sweep_args(tmp_path, "--out", str(out_json),
+                            "--csv", str(out_csv))) == 0
+    first = capsys.readouterr().out
+    assert "2 ran, 0 from cache" in first
+
+    payload = json.loads(out_json.read_text())
+    assert len(payload["cells"]) == 2
+    assert payload["cells"][0]["summary"]["load1_overhead"] > 0
+    header = out_csv.read_text().splitlines()[0]
+    assert header == "experiment,replica,seed,metric,value"
+
+    assert main(_sweep_args(tmp_path)) == 0
+    second = capsys.readouterr().out
+    assert "0 ran, 2 from cache" in second
+    # And the dry run now reports the cells as cached.
+    assert main(_sweep_args(tmp_path, "--dry-run")) == 0
+    assert "cached" in capsys.readouterr().out
+
+
+def test_cli_sweep_all_expands(tmp_path, capsys):
+    assert main(["sweep", "all", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5", "fig6", "fig7", "fig8", "table2"):
+        assert name in out
+
+
+def test_cli_bad_set_value_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(_sweep_args(tmp_path, "--set", "broken"))

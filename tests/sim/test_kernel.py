@@ -174,11 +174,81 @@ def test_yield_non_event_fails_process():
     env = Environment()
 
     def proc(env):
-        yield 42
+        yield "not an event"
 
     env.process(proc(env))
     with pytest.raises(SimulationError, match="non-event"):
         env.run()
+
+
+def test_bare_delay_sleeps():
+    # Fast path: yielding a plain number == yielding env.timeout(n).
+    env = Environment()
+
+    def proc(env):
+        got = yield 3
+        assert got is None
+        yield 4.5
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 7.5 and env.now == 7.5
+
+
+def test_bare_delay_interleaves_with_timeouts():
+    env = Environment()
+    log = []
+
+    def bare(env):
+        for _ in range(3):
+            yield 2.0
+            log.append(("bare", env.now))
+
+    def timed(env):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            log.append(("timed", env.now))
+
+    env.process(bare(env))
+    env.process(timed(env))
+    env.run()
+    # Same-time FIFO order holds across both wait styles.
+    assert log == [("bare", 2.0), ("timed", 2.0), ("bare", 4.0),
+                   ("timed", 4.0), ("bare", 6.0), ("timed", 6.0)]
+
+
+def test_negative_bare_delay_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield -1.0
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="negative"):
+        env.run()
+
+
+def test_interrupt_during_bare_delay():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+        yield 1.0  # the retired flyweight must not wedge later sleeps
+        log.append((env.now, "done"))
+
+    def interrupter(env, victim):
+        yield 5.0
+        victim.interrupt(cause="wake")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(5.0, "wake"), (6.0, "done")]
 
 
 def test_same_time_events_fifo_order():
