@@ -10,6 +10,7 @@
     python -m repro sweep fig5 fig7 --replicas 3 --jobs 4 \
         --cache-dir .sweep-cache --out sweep.json
     python -m repro lint examples/ [--format json] [--strict]
+    python -m repro live [--nodes N] [--timeout S] [--hierarchy]
 
 ``repro run`` regenerates a §5 experiment, prints a paper-vs-measured
 table (and ASCII plots for the figures), and — with ``--out`` —
@@ -20,7 +21,10 @@ per-phase span breakdown.  ``repro sweep`` fans independent replicas
 across a process pool with deterministic per-replica seeds and a
 content-hash result cache (see ``docs/performance.md``).  ``repro
 lint`` statically checks rule files, policy files and application
-schemas (see ``docs/linting.md``).
+schemas (see ``docs/linting.md``).  ``repro live`` runs the whole
+pipeline over real localhost sockets — registry, nodes, an overload,
+one genuine migration — and prints the decision log (see
+``docs/live.md``).
 
 The pre-subcommand spelling ``repro fig5`` still works through a
 back-compat shim.
@@ -323,6 +327,98 @@ def _sweep(args) -> int:
     return 0
 
 
+def _live(args) -> int:
+    """The live-mode demo: a real registry, N real nodes on localhost
+    sockets, one overload, one autonomic migration."""
+    import time
+
+    from .core import MetricPredicate, MigrationPolicy
+    from .live import (
+        LiveNode,
+        LiveRegistry,
+        sqrt_sum_expected,
+        sqrt_sum_state,
+    )
+
+    policy = MigrationPolicy(
+        name="live-demo",
+        dest_conditions=(MetricPredicate("loadavg1", "<", 1.0),),
+    )
+    lease = max(5.0, 10.0 * args.interval)
+    top = None
+    if args.hierarchy:
+        top = LiveRegistry(policy=policy, lease=lease,
+                           command_cooldown=0.5, name="top")
+    registry = LiveRegistry(
+        policy=policy, lease=lease, command_cooldown=0.5,
+        parent_address=top.address if top else None,
+    )
+    nodes = [
+        LiveNode(f"node{i}", registry_address=registry.address,
+                 interval=args.interval,
+                 capacity_threshold=args.threshold)
+        for i in range(args.nodes)
+    ]
+    extra = []
+    if top is not None:
+        # One host under the top-level registry: the escalation target
+        # when every local node is busy.
+        extra = [LiveNode("remote0", registry_address=top.address,
+                          interval=args.interval,
+                          capacity_threshold=args.threshold)]
+    try:
+        print(f"registry listening on {registry.address}"
+              + (f" (parent {top.address})" if top else ""))
+        for node in nodes + extra:
+            print(f"  {node.name} on {node.address}")
+        source = nodes[0]
+        task = source.submit(
+            "sqrt_sum", sqrt_sum_state(n=args.n, chunk=args.n // 40),
+            est_seconds=120.0,
+        )
+        source.inject_load(3.0)
+        if top is not None:
+            # Saturate the local peers so the decision must escalate.
+            for node in nodes[1:]:
+                node.inject_load(3.0)
+        print(f"task {task.task_id} started on {source.name}; "
+              f"source load injected — waiting for the migration ...")
+        finished = None
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline and finished is None:
+            time.sleep(0.1)
+            for node in nodes + extra:
+                if node.completed:
+                    finished = node
+                    break
+        print()
+        print(format_table(
+            ["source", "dest", "pid", "escalated"],
+            [(d.source, d.dest or "-", d.pid, "yes" if d.escalated
+              else "no") for d in registry.decisions]
+            + ([(d.source, d.dest or "-", d.pid, "yes" if d.escalated
+                 else "no") for d in top.decisions] if top else []),
+            title="decision log",
+        ))
+        if finished is None:
+            print("\nno migration completed within "
+                  f"{args.timeout:.0f}s — try a larger --timeout")
+            return 1
+        done = finished.completed[0]
+        ok = abs(done.result["acc"] - sqrt_sum_expected(args.n)) < 1e-6
+        migrated = finished is not source
+        print(f"\ntask finished on {finished.name} after "
+              f"{done.hops} hop(s); result "
+              f"{'correct' if ok else 'WRONG'}")
+        return 0 if (ok and migrated) else 1
+    finally:
+        for node in nodes + extra:
+            node.stop()
+        registry.stop()
+        if top is not None:
+            top.stop()
+
+
 def _lint(args) -> int:
     from .lint import (
         LintUsageError, exit_code, lint_paths, render_json, render_text,
@@ -425,6 +521,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as errors")
     lint.set_defaults(func=_lint)
+
+    live = sub.add_parser(
+        "live",
+        help="run the rescheduler over real localhost sockets and "
+             "watch one autonomic migration",
+    )
+    live.add_argument("--nodes", type=int, default=2,
+                      help="number of localhost nodes (default 2)")
+    live.add_argument("--interval", type=float, default=0.2,
+                      help="monitoring interval in seconds (default 0.2)")
+    live.add_argument("--threshold", type=float, default=1.5,
+                      help="overload threshold on the demo load "
+                           "(default 1.5)")
+    live.add_argument("--n", type=int, default=20_000_000,
+                      help="task size: sum of square roots up to N "
+                           "(default 2e7)")
+    live.add_argument("--timeout", type=float, default=60.0,
+                      help="give up after this many seconds (default 60)")
+    live.add_argument("--hierarchy", action="store_true",
+                      help="add a parent registry plus a remote node and "
+                           "force the decision to escalate")
+    live.set_defaults(func=_live)
 
     lister = sub.add_parser("list", help="list available experiments")
     lister.set_defaults(func=_list)

@@ -1,4 +1,4 @@
-"""The per-host commander entity (paper §3, §3.3).
+"""The simulation driver for the per-host commander entity (§3, §3.3).
 
 "After receiving the message, the source machine's local commander
 issues a command to the migrating process to start the process
@@ -7,37 +7,29 @@ the destination machine are written to a temporary file and are read by
 the migrating process.  We defined this command as a user-defined
 signal."
 
-In the simulation the 'signal' is :meth:`HpcmRuntime.request_migration`;
-the temp file is a *real* file on disk when ``use_tempfile`` is on.
+The logging/tracing/acknowledgement contract lives in the
+driver-agnostic :class:`~repro.commander.core.CommanderCore`; this
+module supplies the simulation's delivery mechanism — the 'signal' is
+:meth:`HpcmRuntime.request_migration`, and the temp file is a *real*
+file on disk when ``use_tempfile`` is on.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Optional
 
 from ..hpcm.record import MigrationOrder
-from ..protocol.messages import Ack, MigrateCommand
+from ..protocol.messages import MigrateCommand
 from ..protocol.transport import Endpoint, EndpointRegistry
-from ..trace import get_tracer
-from ..trace.events import EV_COMMANDER_SIGNAL
+from .core import CommandLog, CommanderCore
 
-
-@dataclass
-class CommandLog:
-    """One received migrate command, for the experiment logs."""
-
-    at: float
-    pid: int
-    dest: str
-    delivered: bool
-    detail: str = ""
+__all__ = ["CommandLog", "Commander"]
 
 
 class Commander:
-    """Commander entity living on one host."""
+    """Commander entity living on one simulated host."""
 
     def __init__(
         self,
@@ -51,7 +43,9 @@ class Commander:
         self.endpoint = Endpoint(host, directory, name="commander")
         self.use_tempfile = bool(use_tempfile)
         self.signal_latency = float(signal_latency)
-        self.log: List[CommandLog] = []
+        self.core = CommanderCore(
+            clock=self.env, host_name=host.name, deliver=self._deliver
+        )
         self._stopped = False
         self.proc = self.env.process(
             self._run(), name=f"commander:{host.name}"
@@ -60,6 +54,10 @@ class Commander:
     @property
     def address(self) -> str:
         return self.endpoint.address
+
+    @property
+    def log(self):
+        return self.core.log
 
     def stop(self) -> None:
         self._stopped = True
@@ -72,27 +70,7 @@ class Commander:
             # Local signal delivery is fast but not free.
             if self.signal_latency > 0:
                 yield self.env.timeout(self.signal_latency)
-            delivered, detail = self._deliver(msg)
-            tracer = get_tracer()
-            if tracer.enabled:
-                tracer.event(
-                    EV_COMMANDER_SIGNAL, t=self.env.now,
-                    host=self.host.name, pid=msg.pid, dest=msg.dest,
-                    delivered=delivered, detail=detail,
-                )
-            self.log.append(
-                CommandLog(
-                    at=self.env.now,
-                    pid=msg.pid,
-                    dest=msg.dest,
-                    delivered=delivered,
-                    detail=detail,
-                )
-            )
-            self.endpoint.send_and_forget(
-                sender, Ack(host=self.host.name, ok=delivered,
-                            detail=detail)
-            )
+            self.endpoint.send_and_forget(sender, self.core.command(msg))
 
     def _deliver(self, msg: MigrateCommand) -> tuple:
         """Signal the target process; returns (delivered, detail)."""

@@ -1,0 +1,69 @@
+"""The commander's delivery contract (paper §3.3) — driver-agnostic.
+
+The commander's job is small but must be identical in every runtime:
+receive a :class:`~repro.protocol.messages.MigrateCommand`, hand it to
+an environment-specific delivery mechanism, record the outcome in the
+command log and the trace, and acknowledge to the registry that sent
+it.  *How* the signal reaches the process differs — the simulation
+calls ``HpcmRuntime.request_migration`` on a simulated process table,
+live mode writes the destination to a file and raises a user-defined
+signal — so the driver supplies ``deliver(msg) -> (delivered, detail)``
+and this core does everything around it, with zero simulation-kernel
+imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+from ..protocol.messages import Ack, MigrateCommand
+from ..trace import get_tracer
+from ..trace.events import EV_COMMANDER_SIGNAL
+
+
+@dataclass
+class CommandLog:
+    """One received migrate command, for the experiment logs."""
+
+    at: float
+    pid: int
+    dest: str
+    delivered: bool
+    detail: str = ""
+
+
+class CommanderCore:
+    """Logging, tracing and acknowledgement around signal delivery."""
+
+    def __init__(
+        self,
+        clock: Any,
+        host_name: str,
+        deliver: Callable[[MigrateCommand], Tuple[bool, str]],
+    ):
+        self.clock = clock
+        self.host_name = host_name
+        self.deliver = deliver
+        self.log: List[CommandLog] = []
+
+    def command(self, msg: MigrateCommand) -> Ack:
+        """Deliver one command; returns the Ack to send back."""
+        delivered, detail = self.deliver(msg)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EV_COMMANDER_SIGNAL, t=self.clock.now,
+                host=self.host_name, pid=msg.pid, dest=msg.dest,
+                delivered=delivered, detail=detail,
+            )
+        self.log.append(
+            CommandLog(
+                at=self.clock.now,
+                pid=msg.pid,
+                dest=msg.dest,
+                delivered=delivered,
+                detail=detail,
+            )
+        )
+        return Ack(host=self.host_name, ok=delivered, detail=detail)

@@ -1,0 +1,36 @@
+"""Driver-agnostic entity-core vocabulary.
+
+The rescheduler's entities — monitor, registry/scheduler, commander
+(paper §3.1–3.3) — are defined by the messages they exchange, not by
+the clock or wire that carries them.  This package holds the two small
+contracts every entity core is written against:
+
+* :mod:`repro.entity.clock` — the :class:`~repro.entity.clock.Clock`
+  protocol (``.now`` in seconds) with wall-clock and manual
+  implementations;
+* :mod:`repro.entity.outbox` — the effect vocabulary
+  (``Send``/``Spend``/``Query``/``Deliver``/``Task``) a core returns
+  instead of touching sockets or kernel events itself.
+
+The cores themselves live next to their subsystems
+(:mod:`repro.registry.core`, :mod:`repro.monitor.core`,
+:mod:`repro.commander.core`); the simulation and live runtimes are thin
+drivers over them.  Nothing in this package may import the simulation
+kernel, sockets, or threads — that is the point.
+"""
+
+from .clock import Clock, ManualClock, WallClock
+from .outbox import Deliver, Effect, Effects, Query, Send, Spend, Task
+
+__all__ = [
+    "Clock",
+    "Deliver",
+    "Effect",
+    "Effects",
+    "ManualClock",
+    "Query",
+    "Send",
+    "Spend",
+    "Task",
+    "WallClock",
+]

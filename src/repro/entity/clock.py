@@ -1,0 +1,55 @@
+"""The Clock protocol: the only notion of time the entity cores see.
+
+The paper's entities (monitor, commander, registry/scheduler, §3.1–3.2)
+are defined by the messages they exchange, not by the clock that stamps
+them.  Every decision core in this repository therefore reads time
+through this one-property protocol — the simulation passes its
+``Environment`` (whose ``now`` is virtual seconds), live mode passes a
+:class:`WallClock`, and tests pass a :class:`ManualClock` they advance
+by hand.  A core that only touches ``clock.now`` can run under any of
+the three without noticing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a monotonically non-decreasing ``now`` in seconds."""
+
+    @property
+    def now(self) -> float: ...
+
+
+class WallClock:
+    """Real time for live deployments (monotonic, not wall-calendar)."""
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """A hand-advanced clock for driving cores deterministically."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("clocks do not run backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, now: float) -> float:
+        if now < self._now:
+            raise ValueError("clocks do not run backwards")
+        self._now = float(now)
+        return self._now

@@ -11,7 +11,7 @@ of §3.1, rescheduling genuinely-computing tasks whose pickled state
 moves over the wire.
 """
 
-from .node import LiveNode, LiveTask
+from .node import LiveNode, LiveTask, default_ruleset
 from .proc_sensors import (
     CpuIdleSampler,
     NetRateSampler,
@@ -40,6 +40,7 @@ __all__ = [
     "NetRateSampler",
     "TASK_TYPES",
     "collatz_census_state",
+    "default_ruleset",
     "load_averages",
     "memory_info",
     "net_bytes",

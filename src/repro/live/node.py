@@ -2,12 +2,21 @@
 
 "A monitor and a commander entity reside on each host" (paper §3);
 a :class:`LiveNode` plays both roles for one real OS process.  It owns
-a TCP endpoint, executes checkpointable tasks on worker threads,
-pushes soft-state status updates to the registry on the paper's §3.2
-push model (monitor role), and acts on incoming ``MigrateCommand``s by
-checkpointing the task at its next poll-point and shipping the pickled
-state to the destination node over a real socket (commander + HPCM
-roles, §3.3).
+a TCP endpoint, executes checkpointable tasks on worker threads, and
+acts on incoming ``MigrateCommand``s by checkpointing the task at its
+next poll-point and shipping the pickled state to the destination node
+over a real socket (HPCM role, §3.3).
+
+Both entity roles run the *same* cores as the simulation.  The monitor
+role is a :class:`~repro.monitor.core.MonitorCore` classifying through
+the full rule engine — simple and complex rules, policy
+trigger/guard sharpening, the sustain warm-up, per-state monitoring
+intervals — over a :class:`~repro.monitor.scripts.SnapshotScriptEngine`
+whose snapshot combines genuine ``/proc`` readings with the node's
+controllable demo load.  The commander role is a
+:class:`~repro.commander.core.CommanderCore` whose delivery mechanism
+is the paper's user-defined signal, here a flag the worker honours at
+its next poll-point.
 
 Load is the node's *task occupancy* plus any injected synthetic load —
 deterministic for demos and tests — while genuine ``/proc`` metrics
@@ -21,10 +30,16 @@ import pickle
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
-from ..protocol.messages import MigrateCommand, Register, StatusUpdate
-from ..rules.states import SystemState
+from ..commander.core import CommanderCore
+from ..entity.clock import WallClock
+from ..monitor.core import MonitorCore
+from ..monitor.scripts import SnapshotScriptEngine
+from ..protocol.messages import MigrateCommand, Register, Unregister
+from ..rules.model import RuleSet, SimpleRule
+from ..trace import get_tracer
+from ..trace.events import EV_LIVE_RESUME, EV_LIVE_SHIP
 from . import proc_sensors
 from .tasks import TASK_TYPES
 from .transport import LiveEndpoint
@@ -46,6 +61,17 @@ class LiveTask:
     hops: int = 0
 
 
+def default_ruleset(capacity_threshold: float) -> RuleSet:
+    """The demo classification as a real rule (§4): one simple rule on
+    the 1-minute load average, busy past 0.9, overloaded past the
+    node's capacity threshold."""
+    rules = RuleSet()
+    rules.add(SimpleRule(number=1, name="load", script="loadAvg.sh",
+                         operator=">", busy=0.9,
+                         overloaded=capacity_threshold))
+    return rules
+
+
 class LiveNode:
     """One virtual host of the live deployment."""
 
@@ -59,11 +85,16 @@ class LiveNode:
         base_load: float = 0.1,
         capacity_threshold: float = 1.5,
         port: int = 0,
+        ruleset: Optional[RuleSet] = None,
+        policy: Any = None,
+        sustain: int = 1,
+        intervals_by_state: Optional[dict] = None,
+        root_rule: Optional[int] = None,
+        n_levels: int = 3,
     ):
         self.name = name
         self.endpoint = LiveEndpoint(name, port=port)
         self.registry_address = registry_address
-        self.interval = float(interval)
         self.base_load = float(base_load)
         self.capacity_threshold = float(capacity_threshold)
         self.injected_load = 0.0
@@ -75,6 +106,26 @@ class LiveNode:
         self._stop = threading.Event()
         self._cpu = proc_sensors.CpuIdleSampler()
         self._net = proc_sensors.NetRateSampler()
+        clock = WallClock()
+        self._clock = clock
+        self.engine = SnapshotScriptEngine(self._sample)
+        self.monitor = MonitorCore(
+            clock=clock,
+            host_name=self.endpoint.address,
+            registry_address=registry_address or "",
+            script_engine=self.engine,
+            ruleset=ruleset or default_ruleset(self.capacity_threshold),
+            policy=policy,
+            interval=interval,
+            intervals_by_state=intervals_by_state,
+            sustain=sustain,
+            root_rule=root_rule,
+            n_levels=n_levels,
+        )
+        self.commander = CommanderCore(
+            clock=clock, host_name=self.endpoint.address,
+            deliver=self._signal,
+        )
         self._threads = [
             threading.Thread(target=self._serve_loop,
                              name=f"{name}-serve", daemon=True),
@@ -88,6 +139,18 @@ class LiveNode:
     @property
     def address(self) -> str:
         return self.endpoint.address
+
+    @property
+    def interval(self) -> float:
+        return self.monitor.interval
+
+    @property
+    def state(self):
+        return self.monitor.state
+
+    @property
+    def reported_state(self):
+        return self.monitor.reported_state
 
     def submit(self, task_type: str, state: dict,
                est_seconds: float = 60.0) -> LiveTask:
@@ -118,7 +181,16 @@ class LiveNode:
                     + self.injected_load)
 
     def stop(self) -> None:
+        if self._stop.is_set():
+            return
         self._stop.set()
+        if self.registry_address:
+            # Best-effort clean leave; the lease expires it anyway.
+            self.endpoint.send_message(
+                self.registry_address,
+                Unregister(host=self.address),
+                timestamp=time.time(),
+            )
         self.endpoint.close()
 
     # -- worker ---------------------------------------------------------
@@ -147,6 +219,11 @@ class LiveNode:
             "hops": task.hops + 1,
         }
         ok = self.endpoint.send_state(dest, header, blob)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(EV_LIVE_SHIP, t=self._clock.now, host=self.name,
+                         task=task.task_id, dest=dest, bytes=len(blob),
+                         ok=ok)
         with self._lock:
             self.tasks.pop(task.task_id, None)
         if ok:
@@ -169,7 +246,9 @@ class LiveNode:
             if kind == "msg":
                 msg, sender, ts = payload
                 if isinstance(msg, MigrateCommand):
-                    self._handle_migrate(msg)
+                    ack = self.commander.command(msg)
+                    self.endpoint.send_message(sender, ack,
+                                               timestamp=time.time())
             elif kind == "state":
                 header, blob = payload
                 state = pickle.loads(blob)
@@ -177,15 +256,33 @@ class LiveNode:
                                    est_seconds=header["est_seconds"])
                 task.hops = header.get("hops", 1)
                 self.migrations_in += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(EV_LIVE_RESUME, t=self._clock.now,
+                                 host=self.name, task=task.task_id,
+                                 origin=header.get("origin", ""),
+                                 hops=task.hops)
 
-    def _handle_migrate(self, msg: MigrateCommand) -> None:
+    def _signal(self, msg: MigrateCommand) -> tuple:
+        """The user-defined signal: delivered as a flag the worker acts
+        on at its next poll-point.  Returns (delivered, detail)."""
         with self._lock:
             task = self.tasks.get(msg.pid)
-        if task is not None:
-            # The user-defined signal: acted on at the next poll-point.
-            task.migrate_to = msg.dest
+        if task is None:
+            return False, f"no such task {msg.pid}"
+        task.migrate_to = msg.dest
+        return True, ""
 
     # -- monitor ----------------------------------------------------------
+    def _sample(self) -> dict:
+        """One coherent snapshot: genuine /proc readings plus the
+        node's controllable demo load."""
+        metrics = proc_sensors.snapshot(self._cpu, self._net)
+        metrics["loadavg1"] = self.current_load()
+        with self._lock:
+            metrics["proc_count"] = float(len(self.tasks))
+        return metrics
+
     def _monitor_loop(self) -> None:
         if self.registry_address:
             self.endpoint.send_message(
@@ -194,9 +291,8 @@ class LiveNode:
                          static_info={"name": self.name}),
                 timestamp=time.time(),
             )
-        while not self._stop.is_set():
-            time.sleep(self.interval)
-            if not self.registry_address or self._stop.is_set():
+        while not self._stop.wait(self.monitor.current_interval()):
+            if not self.registry_address:
                 continue
             self.endpoint.send_message(
                 self.registry_address,
@@ -204,19 +300,10 @@ class LiveNode:
                 timestamp=time.time(),
             )
 
-    def _status_update(self) -> StatusUpdate:
-        load = self.current_load()
-        if load > self.capacity_threshold:
-            state = SystemState.OVERLOADED
-        elif load > 0.9:
-            state = SystemState.BUSY
-        else:
-            state = SystemState.FREE
-        metrics = proc_sensors.snapshot(self._cpu, self._net)
-        metrics["loadavg1"] = load  # the controllable demo load
-        metrics["proc_count"] = float(len(self.tasks))
+    def _status_update(self):
+        span = self.monitor.begin_cycle()
+        snapshot = self.engine.refresh()
         with self._lock:
-            now = time.monotonic()
             processes = [
                 {
                     "pid": t.task_id,
@@ -227,5 +314,4 @@ class LiveNode:
                 }
                 for t in self.tasks.values()
             ]
-        return StatusUpdate(host=self.address, state=state,
-                            metrics=metrics, processes=processes)
+        return self.monitor.finish_cycle(span, snapshot, processes)

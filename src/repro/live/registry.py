@@ -2,48 +2,39 @@
 
 The paper's registry/scheduler is the "global system-state manager
 and decision maker" whose registration "is based on a soft-state
-mechanism" (§3.2).  This live version reuses the simulation's
-soft-state table and victim selection unchanged (they only need a
-``.now`` clock), listening for XML status pushes from
-:class:`~repro.live.node.LiveNode` monitors and sending
-``MigrateCommand``s back — the paper's architecture running on a real
-wire.
+mechanism" (§3.2).  This driver pumps the *same*
+:class:`~repro.registry.core.RegistryCore` the simulation uses — the
+soft-state table, victim selection, first fit over policy destination
+conditions, the command cooldown, and hierarchical
+``CandidateRequest`` escalation are one code path in both runtimes —
+from real threads over real TCP.  A behaviour exists in both runtimes
+or in neither; ``tests/live/test_parity.py`` holds that line.
+
+Threading model: the receive loop folds messages into the core under
+one lock; each decision the core spawns (a
+:class:`~repro.entity.outbox.Task` effect) runs on its own thread,
+advancing the core's generator under the same lock but executing the
+blocking effects — ``Spend`` → sleep, ``Query`` → bounded wait for the
+matching ``CandidateReply`` — outside it.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
-from dataclasses import dataclass
 from typing import Any, List, Optional
 
-from ..monitor.selector import ProcessInfo, select_victim
-from ..protocol.messages import (
-    MigrateCommand,
-    Register,
-    StatusUpdate,
-    Unregister,
-)
-from ..registry.softstate import SoftStateTable
+from ..entity.clock import WallClock
+from ..entity.outbox import Deliver, Query, Send, Spend, Task
+from ..registry.core import Decision, RegistryCore
 from ..registry.strategies import first_fit
-from ..rules.states import SystemState
 from .transport import LiveEndpoint
 
+#: Back-compat alias: live decisions are plain core decisions now.
+LiveDecision = Decision
 
-class _WallClock:
-    """Duck-typed environment for SoftStateTable: just a clock."""
-
-    @property
-    def now(self) -> float:
-        return time.monotonic()
-
-
-@dataclass
-class LiveDecision:
-    at: float
-    source: str
-    dest: Optional[str]
-    pid: Optional[int]
+__all__ = ["LiveDecision", "LiveRegistry"]
 
 
 class LiveRegistry:
@@ -56,28 +47,124 @@ class LiveRegistry:
         command_cooldown: float = 2.0,
         strategy=first_fit,
         port: int = 0,
+        name: str = "registry",
+        parent_address: Optional[str] = None,
+        decision_cost: float = 0.0,
+        query_timeout: float = 5.0,
+        max_data_locality: float = 0.5,
+        rng: Any = None,
     ):
-        self.endpoint = LiveEndpoint("registry", port=port)
-        self.table = SoftStateTable(_WallClock(), lease=lease)
-        self.policy = policy
-        self.strategy = strategy
-        self.command_cooldown = float(command_cooldown)
-        self.decisions: List[LiveDecision] = []
-        self._last_command: dict = {}
+        self.endpoint = LiveEndpoint(name, port=port)
+        #: ``name@host:port`` — parents route delegated candidate
+        #: queries to the socket part; the "@" marks registry records.
+        self.core = RegistryCore(
+            clock=WallClock(),
+            label=f"{name}@{self.endpoint.address}",
+            lease=lease,
+            policy=policy,
+            strategy=strategy,
+            rng=rng,
+            decision_cost=decision_cost,
+            command_cooldown=command_cooldown,
+            parent_address=parent_address,
+            max_data_locality=max_data_locality,
+            query_timeout=query_timeout,
+            # The overloaded node itself plays the commander role.
+            commander_for=lambda source: source,
+        )
+        self._pending_replies: dict = {}
+        self._reply_lock = threading.Lock()
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread = threading.Thread(
-            target=self._loop, name="live-registry", daemon=True
+            target=self._loop, name=f"live-registry:{name}", daemon=True
         )
         self._thread.start()
+        self._parent_thread = None
+        if parent_address:
+            self._parent_thread = threading.Thread(
+                target=self._parent_loop, name=f"live-registry-up:{name}",
+                daemon=True,
+            )
+            self._parent_thread.start()
 
+    # -- the core's state, exposed for experiments and tests ------------
     @property
     def address(self) -> str:
         return self.endpoint.address
 
+    @property
+    def label(self) -> str:
+        return self.core.label
+
+    @property
+    def table(self):
+        return self.core.table
+
+    @property
+    def decisions(self) -> List[Decision]:
+        return self.core.decisions
+
+    @property
+    def policy(self):
+        return self.core.policy
+
+    @property
+    def parent_address(self):
+        return self.core.parent_address
+
     def stop(self) -> None:
         self._stop.set()
         self.endpoint.close()
+
+    # -- effect interpretation ------------------------------------------
+    def _perform(self, effects) -> None:
+        """Run the synchronous effects of one handled message."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._send(effect.to, effect.msg)
+            elif isinstance(effect, Task):
+                threading.Thread(
+                    target=self._pump, args=(effect.gen,),
+                    name=effect.name, daemon=True,
+                ).start()
+            elif isinstance(effect, Deliver):
+                with self._reply_lock:
+                    waiter = self._pending_replies.pop(effect.req_id, None)
+                if waiter is not None:
+                    try:
+                        waiter.put_nowait(effect.reply)
+                    except queue.Full:
+                        pass
+
+    def _pump(self, gen) -> None:
+        """Drive one core task generator on this thread."""
+        value = None
+        while not self._stop.is_set():
+            try:
+                with self._lock:
+                    effect = gen.send(value)
+            except StopIteration:
+                return
+            value = None
+            if isinstance(effect, Spend):
+                time.sleep(effect.seconds)
+            elif isinstance(effect, Send):
+                self._send(effect.to, effect.msg)
+            elif isinstance(effect, Query):
+                waiter: "queue.Queue" = queue.Queue(maxsize=1)
+                with self._reply_lock:
+                    self._pending_replies[effect.req_id] = waiter
+                self._send(effect.to, effect.request)
+                try:
+                    value = waiter.get(timeout=effect.timeout)
+                except queue.Empty:
+                    value = None
+                with self._reply_lock:
+                    self._pending_replies.pop(effect.req_id, None)
+
+    def _send(self, to: str, msg: Any) -> None:
+        self.endpoint.send_message(to, msg, timestamp=time.time())
 
     # -- main loop ------------------------------------------------------
     def _loop(self) -> None:
@@ -90,53 +177,13 @@ class LiveRegistry:
                 continue
             msg, sender, ts = payload
             with self._lock:
-                if isinstance(msg, Register):
-                    self.table.register(msg.host, msg.static_info)
-                elif isinstance(msg, StatusUpdate):
-                    self.table.update(msg.host, msg.state, msg.metrics,
-                                      msg.processes)
-                    if msg.state is SystemState.OVERLOADED:
-                        self._decide(msg)
-                elif isinstance(msg, Unregister):
-                    self.table.unregister(msg.host)
+                effects = self.core.handle(msg, sender)
+            self._perform(effects)
 
-    def _decide(self, update: StatusUpdate) -> None:
-        source = update.host
-        now = time.monotonic()
-        last = self._last_command.get(source)
-        if last is not None and now - last < self.command_cooldown:
-            return
-        victim = select_victim(
-            ProcessInfo.from_dict(p) for p in update.processes
-        )
-        if victim is None:
-            return
-        eligible = [
-            rec for rec in self.table.free_hosts()
-            if rec.host != source and self._dest_ok(rec)
-        ]
-        chosen = self.strategy(eligible, rng=None)
-        self.decisions.append(
-            LiveDecision(at=now, source=source,
-                         dest=chosen.host if chosen else None,
-                         pid=victim.pid)
-        )
-        if chosen is None:
-            return
-        self._last_command[source] = now
-        self.endpoint.send_message(
-            source,
-            MigrateCommand(host=source, pid=victim.pid,
-                           dest=chosen.host,
-                           reason=f"{source} overloaded"),
-            timestamp=time.time(),
-        )
-
-    def _dest_ok(self, record) -> bool:
-        policy = self.policy
-        if policy is None or not getattr(policy, "enabled", True):
-            return True
-        return all(
-            cond.holds(record.metrics)
-            for cond in getattr(policy, "dest_conditions", ())
-        )
+    def _parent_loop(self) -> None:
+        """Ship the core's aggregate soft-state report upward."""
+        while not self._stop.wait(1.0):
+            with self._lock:
+                send = self.core.parent_update()
+            if send is not None:
+                self._send(send.to, send.msg)

@@ -16,12 +16,20 @@ import queue
 import socket
 import struct
 import threading
+import time
 from typing import Any, Optional, Tuple
 
 from ..protocol import messages
 
 FRAME_MESSAGE = b"M"
 FRAME_STATE = b"S"
+
+#: Connect timeout (seconds) when none is configured.
+DEFAULT_CONNECT_TIMEOUT = 5.0
+#: Re-attempts after a failed connect (total tries = retries + 1).
+DEFAULT_CONNECT_RETRIES = 2
+#: First backoff delay; doubles per retry (0.05 s, 0.1 s, 0.2 s, ...).
+DEFAULT_RETRY_BACKOFF = 0.05
 
 _HEADER = struct.Struct(">cI")
 
@@ -59,8 +67,23 @@ class LiveEndpoint:
     blob_bytes))``.
     """
 
-    def __init__(self, name: str, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+        connect_retries: int = DEFAULT_CONNECT_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ):
+        if connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
         self.name = name
+        self.connect_timeout = float(connect_timeout)
+        self.connect_retries = int(connect_retries)
+        self.retry_backoff = float(retry_backoff)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -119,6 +142,13 @@ class LiveEndpoint:
     # -- sending --------------------------------------------------------
     @staticmethod
     def _parse(address: str) -> Tuple[str, int]:
+        """``[name@]host:port`` → ``(host, port)``.
+
+        Hierarchical registries label themselves ``name@host:port`` so a
+        parent can recognize registry records by the ``@``; routing only
+        needs the socket part.
+        """
+        address = address.rpartition("@")[2]
         host, _, port = address.rpartition(":")
         return host, int(port)
 
@@ -135,13 +165,26 @@ class LiveEndpoint:
         return self._send(address, FRAME_STATE, payload)
 
     def _send(self, address: str, kind: bytes, payload: bytes) -> bool:
+        """Connect (with bounded retry + exponential backoff) and ship
+        one frame; False once every attempt failed."""
         try:
-            with socket.create_connection(self._parse(address),
-                                          timeout=5.0) as sock:
-                _send_frame(sock, kind, payload)
-            return True
-        except OSError:
-            return False
+            target = self._parse(address)
+        except ValueError:
+            return False  # unroutable name, e.g. a bare logical host
+        delay = self.retry_backoff
+        for attempt in range(self.connect_retries + 1):
+            try:
+                with socket.create_connection(
+                    target, timeout=self.connect_timeout
+                ) as sock:
+                    _send_frame(sock, kind, payload)
+                return True
+            except OSError:
+                if attempt == self.connect_retries or self._closing.is_set():
+                    return False
+                time.sleep(delay)
+                delay *= 2.0
+        return False
 
     def close(self) -> None:
         self._closing.set()

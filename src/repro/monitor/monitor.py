@@ -1,50 +1,39 @@
-"""The per-host monitor entity (paper §3.1, Figure 2).
+"""The simulation driver for the per-host monitor entity (§3.1).
 
-Periodically gathers system information through the script engine,
-stores it in the monitoring database, determines the local system state
-through the rule evaluator (optionally sharpened by a migration
-policy's trigger/guard predicates), and pushes soft-state updates to
-the registry/scheduler.
-
-The *sustain* parameter reproduces the paper's warm-up behaviour: "It
-takes 72 seconds ... for the monitor to find out that this is a long
-task and determine that the system is overloaded.  If the additional
-load is a short task, this period of time can avoid the fault migration
-caused by small system performance variations."  An overload must
-persist for ``sustain`` consecutive samples before it is reported.
+The judgement calls — classification through the rule evaluator
+(optionally sharpened by a migration policy's trigger/guard
+predicates), the *sustain* warm-up, per-state monitoring intervals —
+live in the driver-agnostic :class:`~repro.monitor.core.MonitorCore`.
+This module owns what is simulation-specific: the kernel process that
+paces the cycles, the CPU cost each cycle charges (the Figure 5
+overhead), the simulated script engine, and the endpoint that pushes
+the resulting soft-state updates.  Live mode
+(:mod:`repro.live.node`) drives the same core from a thread with
+``/proc``-backed sensors.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from ..protocol.messages import (
-    Register,
-    StatusQuery,
-    StatusUpdate,
-    Unregister,
-)
+from ..protocol.messages import Register, StatusQuery, Unregister
 from ..protocol.transport import Endpoint, EndpointRegistry
-from ..rules.evaluator import RuleEvaluator
 from ..rules.model import RuleSet
 from ..rules.states import SystemState
-from ..trace import get_tracer
-from ..trace.events import EV_MONITOR_REPORT, EV_MONITOR_SAMPLE
-from .database import MonitoringDatabase
+from .core import DEFAULT_INTERVAL, MonitorCore
 from .scripts import SimScriptEngine
 from .selector import collect_process_info
-
-#: Paper §5.1: "performance data is gathered at an interval of 10 s".
-DEFAULT_INTERVAL = 10.0
 
 #: CPU-seconds one monitoring cycle costs (script executions); chosen
 #: so the rescheduler's load-average overhead lands in the paper's
 #: "usually less than 4%" band.
 DEFAULT_CYCLE_COST = 0.06
 
+__all__ = ["DEFAULT_CYCLE_COST", "DEFAULT_INTERVAL", "Monitor"]
+
 
 class Monitor:
-    """Monitoring entity living on one host."""
+    """Monitoring entity living on one simulated host."""
 
     def __init__(
         self,
@@ -62,47 +51,78 @@ class Monitor:
         mode: str = "push",
         n_levels: int = 3,
     ):
-        if interval <= 0:
-            raise ValueError("interval must be positive")
-        if sustain < 1:
-            raise ValueError("sustain must be >= 1")
         if mode not in ("push", "pull"):
             raise ValueError(f"mode must be push or pull, got {mode!r}")
-        if n_levels < 2:
-            raise ValueError("need at least two state levels")
         self.host = host
         self.env = host.env
-        self.registry_address = registry_address
         self.endpoint = Endpoint(host, directory, name="monitor")
         self.engine = SimScriptEngine(host)
-        self.database = MonitoringDatabase()
-        self.ruleset = ruleset or RuleSet()
-        # Fine-granularity support (§4): complex-rule evaluation rounds
-        # onto an ``n_levels``-deep severity lattice; the named
-        # three-state view is its presentation layer.
-        self.evaluator = RuleEvaluator(self.ruleset, self.engine,
-                                       n_levels=n_levels)
-        self.policy = policy
-        self.interval = float(interval)
-        self.intervals_by_state = intervals_by_state or {}
-        self.sustain = int(sustain)
+        self.core = MonitorCore(
+            clock=self.env,
+            host_name=host.name,
+            registry_address=registry_address,
+            script_engine=self.engine,
+            ruleset=ruleset,
+            policy=policy,
+            interval=interval,
+            intervals_by_state=intervals_by_state,
+            sustain=sustain,
+            root_rule=root_rule,
+            n_levels=n_levels,
+        )
         self.cycle_cost = float(cycle_cost)
-        self.root_rule = root_rule
-
         self.rng = rng
         self.mode = mode
-        self.state = SystemState.FREE
-        self.reported_state = SystemState.FREE
-        self.cycles = 0
-        self._overload_streak = 0
         self._stopped = False
         # A random phase offset decorrelates the monitoring cycle from
         # the kernel's 5 s load-average sampler (and from the other
         # hosts' monitors), like a real daemon's arbitrary start time.
         self._phase = (
-            float(rng.random()) * self.interval if rng is not None else 0.0
+            float(rng.random()) * self.core.interval
+            if rng is not None else 0.0
         )
         self.proc = self.env.process(self._run(), name=f"monitor:{host.name}")
+
+    # -- the core's state, exposed for experiments and tests ------------
+    @property
+    def registry_address(self) -> str:
+        return self.core.registry_address
+
+    @property
+    def database(self):
+        return self.core.database
+
+    @property
+    def ruleset(self):
+        return self.core.ruleset
+
+    @property
+    def evaluator(self):
+        return self.core.evaluator
+
+    @property
+    def policy(self):
+        return self.core.policy
+
+    @property
+    def interval(self) -> float:
+        return self.core.interval
+
+    @property
+    def sustain(self) -> int:
+        return self.core.sustain
+
+    @property
+    def state(self) -> SystemState:
+        return self.core.state
+
+    @property
+    def reported_state(self) -> SystemState:
+        return self.core.reported_state
+
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
 
     # -- lifecycle ------------------------------------------------------
     def stop(self) -> None:
@@ -112,7 +132,7 @@ class Monitor:
     def _run(self):
         # One-time registration of static information (paper §3.1).
         self.endpoint.send_and_forget(
-            self.registry_address,
+            self.core.registry_address,
             Register(host=self.host.name,
                      static_info=self.host.static_info.as_dict()),
         )
@@ -121,7 +141,7 @@ class Monitor:
         else:
             yield from self._push_loop()
         self.endpoint.send_and_forget(
-            self.registry_address, Unregister(host=self.host.name)
+            self.core.registry_address, Unregister(host=self.host.name)
         )
 
     def _push_loop(self):
@@ -129,7 +149,7 @@ class Monitor:
         if self._phase:
             yield self._phase  # bare-delay fast path
         while not self._stopped:
-            interval = self._current_interval()
+            interval = self.core.current_interval()
             if self.rng is not None:
                 interval *= 1.0 + 0.04 * (float(self.rng.random()) - 0.5)
             yield interval  # bare-delay fast path
@@ -144,67 +164,19 @@ class Monitor:
             if isinstance(msg, StatusQuery) and not self._stopped:
                 yield from self._cycle(push_to=sender)
 
-    def _current_interval(self) -> float:
-        """Monitoring frequency is configurable per state (§4)."""
-        return self.intervals_by_state.get(self.reported_state,
-                                           self.interval)
-
-    # -- one monitoring cycle ---------------------------------------------
+    # -- one monitoring cycle -------------------------------------------
     def _cycle(self, push_to: Optional[str] = None):
-        tracer = get_tracer()
-        span = tracer.begin(
-            EV_MONITOR_SAMPLE, t=self.env.now, host=self.host.name,
-            cycle=self.cycles,
-        ) if tracer.enabled else None
+        span = self.core.begin_cycle()
         # Script executions cost CPU — the Figure 5 overhead.
         if self.cycle_cost > 0:
             yield self.host.cpu.execute(self.cycle_cost, label="monitor")
         snapshot = self.engine.refresh()
-        self.database.record(self.env.now, snapshot)
-        self.state = self._classify(snapshot)
-        self.reported_state = self._apply_sustain(self.state)
-        self.cycles += 1
-        if span is not None:
-            span.end(t=self.env.now, state=self.state.name,
-                     reported=self.reported_state.name)
-            tracer.event(
-                EV_MONITOR_REPORT, t=self.env.now, host=self.host.name,
-                state=self.reported_state.name,
-                to=push_to or self.registry_address,
-            )
-
-        update = StatusUpdate(
-            host=self.host.name,
-            state=self.reported_state,
-            metrics=snapshot,
-            processes=[
-                info.as_dict() for info in collect_process_info(self.host)
-            ],
+        update = self.core.finish_cycle(
+            span,
+            snapshot,
+            [info.as_dict() for info in collect_process_info(self.host)],
+            push_to=push_to,
         )
         self.endpoint.send_and_forget(
-            push_to or self.registry_address, update
+            push_to or self.core.registry_address, update
         )
-
-    def _classify(self, snapshot: Dict[str, float]) -> SystemState:
-        """Rule evaluation plus policy trigger/guard sharpening."""
-        state = self.evaluator.evaluate_host_state(self.root_rule)
-        policy = self.policy
-        if policy is not None and getattr(policy, "enabled", True):
-            triggers = getattr(policy, "triggers", ())
-            if any(t.holds(snapshot) for t in triggers):
-                state = SystemState(max(state, SystemState.OVERLOADED))
-            guards = getattr(policy, "source_guards", ())
-            if state is SystemState.OVERLOADED and not all(
-                g.holds(snapshot) for g in guards
-            ):
-                state = SystemState.BUSY
-        return state
-
-    def _apply_sustain(self, state: SystemState) -> SystemState:
-        if state is SystemState.OVERLOADED:
-            self._overload_streak += 1
-            if self._overload_streak < self.sustain:
-                return SystemState.BUSY
-            return SystemState.OVERLOADED
-        self._overload_streak = 0
-        return state

@@ -10,7 +10,7 @@ snapshot (and windowed counters difference over exactly one interval).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from .sensors import SensorSuite
 
@@ -92,3 +92,63 @@ class SimScriptEngine:
 
     def _disk_usage(self, param: str) -> float:
         return self._snap()["disk_avail_bytes"]
+
+
+class SnapshotScriptEngine:
+    """Script-name → value resolver over a plain metrics snapshot.
+
+    Live mode gathers one coherent reading per cycle (from ``/proc`` via
+    :mod:`repro.live.proc_sensors`, or any other sampler) as a flat
+    ``{metric: value}`` dict; this engine maps the rule files' script
+    names onto that dict so the *same* rule sets drive classification in
+    both runtimes.  A missing metric raises ``KeyError`` — exactly like
+    an unknown script — so mis-wired sensors fail loudly instead of
+    silently classifying FREE.
+    """
+
+    def __init__(self, sampler: Callable[[], Dict[str, float]],
+                 snapshot: Optional[Dict[str, float]] = None):
+        self.sampler = sampler
+        self.snapshot: Dict[str, float] = dict(snapshot or {})
+        self._handlers: Dict[str, Callable[[str], float]] = {
+            "processorStatus.sh": lambda p: self._get("cpu_idle_pct"),
+            "loadAvg.sh": self._load_avg,
+            "procCount.sh": lambda p: self._get("proc_count"),
+            "ntStatIpv4.sh": lambda p: self._get("socket_count"),
+            "netFlow.sh": lambda p: self._get("comm_mbs"),
+            "memInfo.sh": self._mem_info,
+            "diskUsage.sh": lambda p: self._get("disk_avail_bytes"),
+        }
+
+    def refresh(self) -> Dict[str, float]:
+        """Take a new coherent snapshot; returns it."""
+        self.snapshot = dict(self.sampler())
+        return self.snapshot
+
+    def register(self, script: str, handler: Callable[[str], float]) -> None:
+        self._handlers[script] = handler
+
+    def scripts(self) -> list:
+        return sorted(self._handlers)
+
+    def __call__(self, script: str, param: str = "") -> float:
+        handler = self._handlers[script]  # KeyError intended
+        return float(handler(param))
+
+    def _get(self, key: str) -> float:
+        if not self.snapshot:
+            self.refresh()
+        return self.snapshot[key]  # KeyError intended
+
+    def _load_avg(self, param: str) -> float:
+        key = {"": "loadavg1", "1": "loadavg1", "5": "loadavg5",
+               "15": "loadavg15"}.get(param.strip())
+        if key is None:
+            raise ValueError(f"loadAvg.sh: unknown window {param!r}")
+        return self._get(key)
+
+    def _mem_info(self, param: str) -> float:
+        key = "vmem_avail_pct" if param.strip() == "virtual" else (
+            "mem_avail_pct"
+        )
+        return self._get(key)

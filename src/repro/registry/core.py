@@ -1,0 +1,421 @@
+"""The registry/scheduler decision core (paper §3.2) — driver-agnostic.
+
+This module is the *one* decision brain both runtimes share.  It holds
+the complete §3.2 logic — soft-state bookkeeping, victim selection
+(latest estimated completion, schema data-locality respected),
+destination choice (first fit over FREE hosts meeting the policy's
+destination conditions and the victim's resource requirements), the
+per-source command cooldown, and hierarchical ``CandidateRequest``
+escalation — with **zero simulation-kernel imports**: time comes from a
+:class:`~repro.entity.clock.Clock`, and everything the core wants done
+to the world comes back as :mod:`~repro.entity.outbox` effects.
+
+The simulation's :class:`~repro.registry.registry.RegistryScheduler`
+pumps this core from a kernel process; the live
+:class:`~repro.live.registry.LiveRegistry` pumps the *same object* from
+threads over real TCP.  A behaviour exists in both runtimes or in
+neither — that is the parity guarantee ``tests/live/test_parity.py``
+enforces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..entity.outbox import Deliver, Effects, Query, Send, Spend, Task
+from ..monitor.selector import ProcessInfo, select_victim
+from ..protocol.messages import (
+    CandidateReply,
+    CandidateRequest,
+    MigrateCommand,
+    Register,
+    StatusUpdate,
+    Unregister,
+)
+from ..rules.states import SystemState
+from ..trace import get_tracer
+from ..trace.events import (
+    EV_REGISTRY_COMMAND,
+    EV_REGISTRY_DECIDE,
+    EV_REGISTRY_REGISTER,
+    EV_REGISTRY_UPDATE,
+)
+from .softstate import SoftStateTable
+from .strategies import first_fit
+
+#: CPU-seconds one scheduling decision costs; the paper measures the
+#: decision itself at ~0.002 s.
+DEFAULT_DECISION_COST = 0.002
+
+#: Suppress repeat commands for the same host while one migration is in
+#: flight (a fresh status push arrives every cycle).
+DEFAULT_COMMAND_COOLDOWN = 30.0
+
+#: Escalation bound through the hierarchy.
+MAX_HOPS = 4
+
+#: Seconds a delegated candidate query waits for its reply.
+QUERY_TIMEOUT = 10.0
+
+
+def _requirements_xml(req: Any) -> str:
+    """Serialize duck-typed requirements for a CandidateRequest."""
+    if req is None:
+        return ""
+    from ..schema import ResourceRequirements
+
+    return ET.tostring(
+        ResourceRequirements(
+            min_memory_bytes=int(getattr(req, "min_memory_bytes", 0) or 0),
+            min_disk_bytes=int(getattr(req, "min_disk_bytes", 0) or 0),
+            min_cpu_speed=float(getattr(req, "min_cpu_speed", 0.0) or 0.0),
+            features=tuple(getattr(req, "features", ()) or ()),
+        ).to_element(),
+        encoding="unicode",
+    )
+
+
+def _requirements_from_xml(text: str):
+    if not text:
+        return None
+    from ..schema import ResourceRequirements
+
+    return ResourceRequirements.from_element(ET.fromstring(text))
+
+
+@dataclass
+class Decision:
+    """A migration decision, for the experiment logs."""
+
+    at: float
+    source: str
+    dest: Optional[str]
+    pid: Optional[int]
+    reason: str
+    decision_seconds: float
+    escalated: bool = False
+
+    def key(self) -> tuple:
+        """The clock-independent identity of the decision — what the
+        sim/live parity tests compare."""
+        return (self.source, self.dest, self.pid, self.reason,
+                self.escalated)
+
+
+class RegistryCore:
+    """The registry/scheduler's decision brain on one clock."""
+
+    _req_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        clock: Any,
+        label: str,
+        lease: float = 35.0,
+        policy: Any = None,
+        strategy: Callable = first_fit,
+        rng: Any = None,
+        decision_cost: float = DEFAULT_DECISION_COST,
+        command_cooldown: float = DEFAULT_COMMAND_COOLDOWN,
+        parent_address: Optional[str] = None,
+        max_data_locality: float = 0.5,
+        query_timeout: float = QUERY_TIMEOUT,
+        commander_for: Optional[Callable[[str], str]] = None,
+    ):
+        self.clock = clock
+        #: Name this registry registers under at its parent, and the
+        #: marker by which parents recognize registry records ("@").
+        self.label = label
+        self.table = SoftStateTable(clock, lease=lease)
+        self.policy = policy
+        self.strategy = strategy
+        self.rng = rng
+        self.decision_cost = float(decision_cost)
+        self.command_cooldown = float(command_cooldown)
+        self.parent_address = parent_address
+        self.query_timeout = float(query_timeout)
+        #: Maps an overloaded source host to its commander's address
+        #: (sim: the ``commander@host`` endpoint; live: the node itself
+        #: plays the commander, so the identity map is used).
+        self.commander_for = commander_for or (lambda host: host)
+        self.decisions: List[Decision] = []
+        self._last_command: Dict[str, float] = {}
+        self._deciding: set = set()
+        #: Victims above this schema data-locality weight stay put
+        #: ("a process [that] involves a lot in a local data access is
+        #: not to be migrated", §5.3).
+        self.max_data_locality = float(max_data_locality)
+
+    # -- the message interface --------------------------------------------
+    def handle(self, msg: Any, sender: str) -> Effects:
+        """Fold one incoming message in; returns the effects to run."""
+        tracer = get_tracer()
+        if isinstance(msg, Register):
+            self.table.register(msg.host, msg.static_info)
+            if tracer.enabled:
+                tracer.event(EV_REGISTRY_REGISTER, t=self.clock.now,
+                             host=msg.host, registry=self.label)
+            return []
+        if isinstance(msg, StatusUpdate):
+            self.table.update(
+                msg.host, msg.state, msg.metrics, msg.processes
+            )
+            if tracer.enabled:
+                tracer.event(EV_REGISTRY_UPDATE, t=self.clock.now,
+                             host=msg.host, state=msg.state.name,
+                             registry=self.label)
+            if msg.state is SystemState.OVERLOADED:
+                return [Task(name=f"decide:{msg.host}",
+                             gen=self._decide(msg))]
+            return []
+        if isinstance(msg, Unregister):
+            self.table.unregister(msg.host)
+            return []
+        if isinstance(msg, CandidateRequest):
+            return [Task(name=f"serve:{msg.req_id}",
+                         gen=self._serve_candidate_request(msg, sender))]
+        if isinstance(msg, CandidateReply):
+            return [Deliver(req_id=msg.req_id, reply=msg)]
+        # Ack and anything else: ignored.
+        return []
+
+    # -- scheduling decision ----------------------------------------------
+    def _decide(self, update: StatusUpdate):
+        source = update.host
+        now = self.clock.now
+        last = self._last_command.get(source)
+        if last is not None and now - last < self.command_cooldown:
+            return
+        if source in self._deciding:
+            return  # a decision for this host is already in flight
+        victim = select_victim(
+            (ProcessInfo.from_dict(p) for p in update.processes),
+            max_data_locality=self.max_data_locality,
+        )
+        if victim is None:
+            return
+        self._deciding.add(source)
+        try:
+            yield from self._decide_inner(update, source, victim)
+        finally:
+            self._deciding.discard(source)
+
+    def _decide_inner(self, update: StatusUpdate, source: str, victim):
+        t0 = self.clock.now
+        tracer = get_tracer()
+        span = tracer.begin(
+            EV_REGISTRY_DECIDE, t=t0, host=source,
+            pid=victim.pid, app=victim.name,
+        ) if tracer.enabled else None
+        if self.decision_cost > 0:
+            yield Spend(self.decision_cost, label="registry-decide")
+        app_name = victim.name
+        dest, escalated = yield from self._resolve_destination(
+            exclude=(source, self.label), app_name=app_name, hops=0,
+            requirements=victim,
+        )
+        decision_seconds = self.clock.now - t0
+        if span is not None:
+            span.end(t=self.clock.now, dest=dest, escalated=escalated)
+        self.decisions.append(
+            Decision(
+                at=self.clock.now,
+                source=source,
+                dest=dest,
+                pid=victim.pid,
+                reason=f"{source} overloaded",
+                decision_seconds=decision_seconds,
+                escalated=escalated,
+            )
+        )
+        if dest is None:
+            return
+        self._last_command[source] = self.clock.now
+        if tracer.enabled:
+            tracer.event(
+                EV_REGISTRY_COMMAND, t=self.clock.now, host=source,
+                pid=victim.pid, dest=dest,
+                decision_s=decision_seconds,
+            )
+        yield Send(
+            self.commander_for(source),
+            MigrateCommand(
+                host=source,
+                pid=victim.pid,
+                dest=dest,
+                reason=f"{source} overloaded",
+                decision_seconds=decision_seconds,
+            ),
+        )
+
+    def _pick_destination(self, exclude: tuple,
+                          requirements: Any = None) -> Optional[str]:
+        """First fit (or configured strategy) over eligible FREE hosts
+        that own all the resources required (paper §3.2)."""
+        eligible = [
+            rec for rec in self.table.free_hosts()
+            if rec.host not in exclude
+            and self._dest_ok(rec)
+            and self._meets_requirements(rec, requirements)
+        ]
+        chosen = self.strategy(eligible, rng=self.rng)
+        return chosen.host if chosen is not None else None
+
+    @staticmethod
+    def _meets_requirements(record, req: Any) -> bool:
+        """Does the candidate own all the resources the victim needs?
+
+        ``req`` duck-types ResourceRequirements / ProcessInfo
+        (min_memory_bytes, min_disk_bytes, min_cpu_speed, features).
+        Static fields absent from a record (e.g. a delegated child
+        registry) are not held against it; missing *dynamic* metrics
+        fail a positive requirement — 'ready and owns all the
+        resources required' is checked, not assumed.
+        """
+        if req is None:
+            return True
+        static = record.static_info
+        min_speed = float(getattr(req, "min_cpu_speed", 0.0) or 0.0)
+        if min_speed and static.get("cpu_speed") is not None:
+            if float(static["cpu_speed"]) < min_speed:
+                return False
+        needed = set(getattr(req, "features", ()) or ())
+        if needed and static.get("features") is not None:
+            offered = {
+                f for f in str(static["features"]).split(",") if f
+            }
+            if needed - offered:
+                return False
+        metrics = record.metrics
+        min_mem = int(getattr(req, "min_memory_bytes", 0) or 0)
+        if min_mem:
+            avail = metrics.get("mem_avail_bytes")
+            if avail is None or avail < min_mem:
+                return False
+        min_disk = int(getattr(req, "min_disk_bytes", 0) or 0)
+        if min_disk:
+            avail = metrics.get("disk_avail_bytes")
+            if avail is None or avail < min_disk:
+                return False
+        return True
+
+    def _dest_ok(self, record) -> bool:
+        """Policy destination conditions (paper §5.3) on the candidate."""
+        policy = self.policy
+        if policy is None or not getattr(policy, "enabled", True):
+            return True
+        return all(
+            cond.holds(record.metrics)
+            for cond in getattr(policy, "dest_conditions", ())
+        )
+
+    # -- hierarchy --------------------------------------------------------
+    def _resolve_destination(self, exclude: tuple, app_name: str,
+                             hops: int, requirements: Any = None):
+        """Find a real destination host, delegating through registries.
+
+        Returns ``(dest_or_None, escalated)``.  Local records whose name
+        contains ``@`` are child registries: the query is forwarded so
+        the child answers with one of *its* hosts.  With no local
+        candidate at all, the query escalates to the parent.
+        """
+        dest = self._pick_destination(exclude=exclude,
+                                      requirements=requirements)
+        if dest is not None and "@" in dest:
+            dest = yield from self._query(
+                dest, app_name, exclude, hops + 1, requirements
+            )
+            return dest, True
+        if dest is None and self.parent_address and hops < MAX_HOPS:
+            dest = yield from self._query(
+                self.parent_address, app_name, exclude, hops + 1,
+                requirements,
+            )
+            return dest, True
+        return dest, False
+
+    def _query(self, address: str, app_name: str, exclude: tuple,
+               hops: int, requirements: Any = None):
+        """Round-trip a CandidateRequest to another registry."""
+        req_id = f"{self.label}:{next(self._req_counter)}"
+        reply = yield Query(
+            to=address,
+            request=CandidateRequest(
+                host=self.label,
+                app_name=app_name,
+                req_id=req_id,
+                hops=hops,
+                exclude=tuple(exclude) + (self.label,),
+                requirements_xml=_requirements_xml(requirements),
+            ),
+            req_id=req_id,
+            timeout=self.query_timeout,
+        )
+        if reply is not None:
+            return reply.dest
+        return None
+
+    def _serve_candidate_request(self, msg: CandidateRequest, sender: str):
+        """Answer a destination query from a child or sibling registry."""
+        requirements = _requirements_from_xml(msg.requirements_xml)
+        if msg.hops >= MAX_HOPS:
+            dest = self._pick_destination(exclude=msg.exclude,
+                                          requirements=requirements)
+            if dest is not None and "@" in dest:
+                dest = None  # hop budget exhausted; can't delegate
+        else:
+            dest, _ = yield from self._resolve_destination(
+                exclude=msg.exclude, app_name=msg.app_name,
+                hops=msg.hops, requirements=requirements,
+            )
+        yield Send(
+            sender,
+            CandidateReply(host=self.label, dest=dest, req_id=msg.req_id),
+        )
+
+    # -- periodic duties (pumped by the driver's scheduler) ---------------
+    def poll_queries(self) -> Effects:
+        """Pull model (§3.2): the registry decides when it needs the
+        information and queries every registered host."""
+        from ..protocol.messages import StatusQuery
+
+        return [
+            Send(f"monitor@{record.host}", StatusQuery(host=record.host))
+            for record in self.table.records()
+            if "@" not in record.host  # children push on their own
+        ]
+
+    def parent_update(self) -> Optional[Send]:
+        """Report this registry's aggregate health upward (soft state).
+
+        The aggregate state is the *best* (least severe) state among the
+        children: one free host makes the whole sub-registry a viable
+        migration domain.
+        """
+        if not self.parent_address:
+            return None
+        available = self.table.available()
+        if available:
+            state = SystemState(
+                min(int(self.table.effective_state(r))
+                    for r in available)
+            )
+            # Advertise the best offer: the least-loaded available
+            # host's full metric set, so the parent's destination
+            # conditions evaluate against a real candidate.
+            best = min(
+                available,
+                key=lambda r: r.metrics.get("loadavg1", 0.0),
+            )
+            metrics = dict(best.metrics)
+        else:
+            state = SystemState.BUSY
+            metrics = {}
+        metrics["hosts"] = float(len(available))
+        return Send(
+            self.parent_address,
+            StatusUpdate(host=self.label, state=state, metrics=metrics),
+        )

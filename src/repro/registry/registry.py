@@ -1,100 +1,44 @@
-"""The registry/scheduler entity (paper §3.2).
+"""The simulation driver for the registry/scheduler entity (§3.2).
 
-Global system-state manager and decision maker: receives soft-state
-pushes, and when a host reports *overloaded*, selects the victim
-process (latest estimated completion) and a destination (first fit over
-FREE hosts satisfying the policy's destination conditions), then
-commands the source host's commander to start the migration.
-
-Registries compose hierarchically: a registry with no local candidate
-escalates a :class:`CandidateRequest` to its parent, which consults its
-other children ("This hierarchical design solves the problem of a
-centralized bottleneck", §3.2).
+All decision logic — victim selection, first fit over policy
+destination conditions, cooldown, hierarchical escalation — lives in
+the driver-agnostic :class:`~repro.registry.core.RegistryCore`.  This
+module is the *sim driver*: a kernel process that pumps the core's
+inbox, runs its :class:`~repro.entity.outbox.Task` generators as
+concurrent kernel processes, and maps each effect onto the simulated
+world (``Spend`` → CPU execution, ``Send`` → the simulated network,
+``Query`` → a kernel event raced against a timeout).  The live runtime
+(:mod:`repro.live.registry`) pumps the same core over real sockets.
 """
 
 from __future__ import annotations
 
-import itertools
-import xml.etree.ElementTree as ET
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Optional
 
-from ..protocol.messages import (
-    Ack,
-    CandidateReply,
-    CandidateRequest,
-    MigrateCommand,
-    Register,
-    StatusUpdate,
-    Unregister,
-)
+from ..entity.outbox import Deliver, Query, Send, Spend, Task
 from ..protocol.transport import Endpoint, EndpointRegistry
-from ..rules.states import SystemState
-from ..monitor.selector import ProcessInfo, select_victim
-from ..trace import get_tracer
-from ..trace.events import (
-    EV_REGISTRY_COMMAND,
-    EV_REGISTRY_DECIDE,
-    EV_REGISTRY_REGISTER,
-    EV_REGISTRY_UPDATE,
+from .core import (
+    DEFAULT_COMMAND_COOLDOWN,
+    DEFAULT_DECISION_COST,
+    MAX_HOPS,
+    Decision,
+    RegistryCore,
+    _requirements_from_xml,
+    _requirements_xml,
 )
-from .softstate import SoftStateTable
 from .strategies import first_fit
 
-#: CPU-seconds one scheduling decision costs; the paper measures the
-#: decision itself at ~0.002 s.
-DEFAULT_DECISION_COST = 0.002
-
-#: Suppress repeat commands for the same host while one migration is in
-#: flight (a fresh status push arrives every cycle).
-DEFAULT_COMMAND_COOLDOWN = 30.0
-
-#: Escalation bound through the hierarchy.
-MAX_HOPS = 4
-
-
-def _requirements_xml(req: Any) -> str:
-    """Serialize duck-typed requirements for a CandidateRequest."""
-    if req is None:
-        return ""
-    from ..schema import ResourceRequirements
-
-    return ET.tostring(
-        ResourceRequirements(
-            min_memory_bytes=int(getattr(req, "min_memory_bytes", 0) or 0),
-            min_disk_bytes=int(getattr(req, "min_disk_bytes", 0) or 0),
-            min_cpu_speed=float(getattr(req, "min_cpu_speed", 0.0) or 0.0),
-            features=tuple(getattr(req, "features", ()) or ()),
-        ).to_element(),
-        encoding="unicode",
-    )
-
-
-def _requirements_from_xml(text: str):
-    if not text:
-        return None
-    from ..schema import ResourceRequirements
-
-    return ResourceRequirements.from_element(ET.fromstring(text))
-
-
-@dataclass
-class Decision:
-    """A migration decision, for the experiment logs."""
-
-    at: float
-    source: str
-    dest: Optional[str]
-    pid: Optional[int]
-    reason: str
-    decision_seconds: float
-    escalated: bool = False
+__all__ = [
+    "DEFAULT_COMMAND_COOLDOWN",
+    "DEFAULT_DECISION_COST",
+    "MAX_HOPS",
+    "Decision",
+    "RegistryScheduler",
+]
 
 
 class RegistryScheduler:
-    """Registry/scheduler entity on one host."""
-
-    _req_counter = itertools.count(1)
+    """Registry/scheduler entity on one simulated host."""
 
     def __init__(
         self,
@@ -118,28 +62,26 @@ class RegistryScheduler:
         self.host = host
         self.env = host.env
         self.endpoint = Endpoint(host, directory, name=name)
-        self.table = SoftStateTable(self.env, lease=lease)
-        self.policy = policy
-        self.strategy = strategy
-        self.rng = rng
-        self.decision_cost = float(decision_cost)
-        self.command_cooldown = float(command_cooldown)
-        self.parent_address = parent_address
-        #: Name this registry registers under at its parent; using the
-        #: endpoint address lets a parent route delegated candidate
-        #: queries straight to the child ("@" marks registry records).
-        self.label = label or f"{name}@{host.name}"
-        self.decisions: List[Decision] = []
-        self._last_command: Dict[str, float] = {}
-        self._deciding: set = set()
-        self._pending_replies: Dict[str, Any] = {}
+        #: Using the endpoint address as the label lets a parent route
+        #: delegated candidate queries straight to the child ("@" marks
+        #: registry records).
+        self.core = RegistryCore(
+            clock=self.env,
+            label=label or f"{name}@{host.name}",
+            lease=lease,
+            policy=policy,
+            strategy=strategy,
+            rng=rng,
+            decision_cost=decision_cost,
+            command_cooldown=command_cooldown,
+            parent_address=parent_address,
+            max_data_locality=max_data_locality,
+            commander_for=lambda source: f"commander@{source}",
+        )
+        self._pending_replies: dict = {}
         self._stopped = False
         self.mode = mode
         self.poll_interval = float(poll_interval)
-        #: Victims above this schema data-locality weight stay put
-        #: ("a process [that] involves a lot in a local data access is
-        #: not to be migrated", §5.3).
-        self.max_data_locality = float(max_data_locality)
         self.proc = self.env.process(
             self._run(), name=f"registry:{host.name}"
         )
@@ -150,12 +92,75 @@ class RegistryScheduler:
             self.env.process(self._push_to_parent(),
                              name=f"registry-up:{host.name}")
 
+    # -- the core's state, exposed for experiments and tests ------------
     @property
     def address(self) -> str:
         return self.endpoint.address
 
+    @property
+    def table(self):
+        return self.core.table
+
+    @property
+    def decisions(self):
+        return self.core.decisions
+
+    @property
+    def policy(self):
+        return self.core.policy
+
+    @property
+    def label(self) -> str:
+        return self.core.label
+
+    @property
+    def parent_address(self):
+        return self.core.parent_address
+
+    #: Back-compat alias: the requirement matcher is core logic now.
+    _meets_requirements = staticmethod(RegistryCore._meets_requirements)
+
     def stop(self) -> None:
         self._stopped = True
+
+    # -- effect interpretation ------------------------------------------
+    def _perform(self, effects) -> None:
+        """Run the synchronous effects of one handled message."""
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.endpoint.send_and_forget(effect.to, effect.msg)
+            elif isinstance(effect, Task):
+                self.env.process(self._pump(effect.gen), name=effect.name)
+            elif isinstance(effect, Deliver):
+                waiter = self._pending_replies.pop(effect.req_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(effect.reply)
+
+    def _pump(self, gen):
+        """Drive one core task generator as a kernel process."""
+        value = None
+        while True:
+            try:
+                effect = gen.send(value)
+            except StopIteration:
+                return
+            value = None
+            if isinstance(effect, Spend):
+                yield self.host.cpu.execute(effect.seconds,
+                                            label=effect.label)
+            elif isinstance(effect, Send):
+                self.endpoint.send_and_forget(effect.to, effect.msg)
+            elif isinstance(effect, Query):
+                # Order matters for determinism and matches the
+                # pre-refactor code: waiter first, then the request on
+                # the wire, then the timeout, then the race.
+                waiter = self.env.event()
+                self._pending_replies[effect.req_id] = waiter
+                self.endpoint.send_and_forget(effect.to, effect.request)
+                timeout = self.env.timeout(effect.timeout)
+                yield self.env.any_of([waiter, timeout])
+                self._pending_replies.pop(effect.req_id, None)
+                value = waiter.value if waiter.triggered else None
 
     # -- main loop ------------------------------------------------------
     def _run(self):
@@ -164,281 +169,19 @@ class RegistryScheduler:
         # never block on them.
         while not self._stopped:
             msg, sender, ts = yield self.endpoint.recv()
-            tracer = get_tracer()
-            if isinstance(msg, Register):
-                self.table.register(msg.host, msg.static_info)
-                if tracer.enabled:
-                    tracer.event(EV_REGISTRY_REGISTER, t=self.env.now,
-                                 host=msg.host, registry=self.label)
-            elif isinstance(msg, StatusUpdate):
-                self.table.update(
-                    msg.host, msg.state, msg.metrics, msg.processes
-                )
-                if tracer.enabled:
-                    tracer.event(EV_REGISTRY_UPDATE, t=self.env.now,
-                                 host=msg.host, state=msg.state.name,
-                                 registry=self.label)
-                if msg.state is SystemState.OVERLOADED:
-                    self.env.process(
-                        self._decide(msg, sender),
-                        name=f"decide:{msg.host}",
-                    )
-            elif isinstance(msg, Unregister):
-                self.table.unregister(msg.host)
-            elif isinstance(msg, CandidateRequest):
-                self.env.process(
-                    self._serve_candidate_request(msg, sender),
-                    name=f"serve:{msg.req_id}",
-                )
-            elif isinstance(msg, CandidateReply):
-                waiter = self._pending_replies.pop(msg.req_id, None)
-                if waiter is not None and not waiter.triggered:
-                    waiter.succeed(msg)
-            # Ack and anything else: ignored.
-
-    # -- scheduling decision ------------------------------------------------
-    def _decide(self, update: StatusUpdate, monitor_address: str):
-        source = update.host
-        now = self.env.now
-        last = self._last_command.get(source)
-        if last is not None and now - last < self.command_cooldown:
-            return
-        if source in self._deciding:
-            return  # a decision for this host is already in flight
-        victim = select_victim(
-            (ProcessInfo.from_dict(p) for p in update.processes),
-            max_data_locality=self.max_data_locality,
-        )
-        if victim is None:
-            return
-        self._deciding.add(source)
-        try:
-            yield from self._decide_inner(update, source, victim)
-        finally:
-            self._deciding.discard(source)
-
-    def _decide_inner(self, update: StatusUpdate, source: str, victim):
-        t0 = self.env.now
-        tracer = get_tracer()
-        span = tracer.begin(
-            EV_REGISTRY_DECIDE, t=t0, host=source,
-            pid=victim.pid, app=victim.name,
-        ) if tracer.enabled else None
-        if self.decision_cost > 0:
-            yield self.host.cpu.execute(self.decision_cost,
-                                        label="registry-decide")
-        app_name = victim.name
-        dest, escalated = yield from self._resolve_destination(
-            exclude=(source, self.label), app_name=app_name, hops=0,
-            requirements=victim,
-        )
-        decision_seconds = self.env.now - t0
-        if span is not None:
-            span.end(t=self.env.now, dest=dest, escalated=escalated)
-        self.decisions.append(
-            Decision(
-                at=self.env.now,
-                source=source,
-                dest=dest,
-                pid=victim.pid,
-                reason=f"{source} overloaded",
-                decision_seconds=decision_seconds,
-                escalated=escalated,
-            )
-        )
-        if dest is None:
-            return
-        self._last_command[source] = self.env.now
-        if tracer.enabled:
-            tracer.event(
-                EV_REGISTRY_COMMAND, t=self.env.now, host=source,
-                pid=victim.pid, dest=dest,
-                decision_s=decision_seconds,
-            )
-        self.endpoint.send_and_forget(
-            f"commander@{source}",
-            MigrateCommand(
-                host=source,
-                pid=victim.pid,
-                dest=dest,
-                reason=f"{source} overloaded",
-                decision_seconds=decision_seconds,
-            ),
-        )
-
-    def _pick_destination(self, exclude: tuple,
-                          requirements: Any = None) -> Optional[str]:
-        """First fit (or configured strategy) over eligible FREE hosts
-        that own all the resources required (paper §3.2)."""
-        eligible = [
-            rec for rec in self.table.free_hosts()
-            if rec.host not in exclude
-            and self._dest_ok(rec)
-            and self._meets_requirements(rec, requirements)
-        ]
-        chosen = self.strategy(eligible, rng=self.rng)
-        return chosen.host if chosen is not None else None
-
-    @staticmethod
-    def _meets_requirements(record, req: Any) -> bool:
-        """Does the candidate own all the resources the victim needs?
-
-        ``req`` duck-types ResourceRequirements / ProcessInfo
-        (min_memory_bytes, min_disk_bytes, min_cpu_speed, features).
-        Static fields absent from a record (e.g. a delegated child
-        registry) are not held against it; missing *dynamic* metrics
-        fail a positive requirement — 'ready and owns all the
-        resources required' is checked, not assumed.
-        """
-        if req is None:
-            return True
-        static = record.static_info
-        min_speed = float(getattr(req, "min_cpu_speed", 0.0) or 0.0)
-        if min_speed and static.get("cpu_speed") is not None:
-            if float(static["cpu_speed"]) < min_speed:
-                return False
-        needed = set(getattr(req, "features", ()) or ())
-        if needed and static.get("features") is not None:
-            offered = {
-                f for f in str(static["features"]).split(",") if f
-            }
-            if needed - offered:
-                return False
-        metrics = record.metrics
-        min_mem = int(getattr(req, "min_memory_bytes", 0) or 0)
-        if min_mem:
-            avail = metrics.get("mem_avail_bytes")
-            if avail is None or avail < min_mem:
-                return False
-        min_disk = int(getattr(req, "min_disk_bytes", 0) or 0)
-        if min_disk:
-            avail = metrics.get("disk_avail_bytes")
-            if avail is None or avail < min_disk:
-                return False
-        return True
-
-    def _dest_ok(self, record) -> bool:
-        """Policy destination conditions (paper §5.3) on the candidate."""
-        policy = self.policy
-        if policy is None or not getattr(policy, "enabled", True):
-            return True
-        return all(
-            cond.holds(record.metrics)
-            for cond in getattr(policy, "dest_conditions", ())
-        )
-
-    # -- hierarchy ------------------------------------------------------
-    def _resolve_destination(self, exclude: tuple, app_name: str,
-                             hops: int, requirements: Any = None):
-        """Find a real destination host, delegating through registries.
-
-        Returns ``(dest_or_None, escalated)``.  Local records whose name
-        contains ``@`` are child registries: the query is forwarded so
-        the child answers with one of *its* hosts.  With no local
-        candidate at all, the query escalates to the parent.
-        """
-        dest = self._pick_destination(exclude=exclude,
-                                      requirements=requirements)
-        if dest is not None and "@" in dest:
-            dest = yield from self._query(
-                dest, app_name, exclude, hops + 1, requirements
-            )
-            return dest, True
-        if dest is None and self.parent_address and hops < MAX_HOPS:
-            dest = yield from self._query(
-                self.parent_address, app_name, exclude, hops + 1,
-                requirements,
-            )
-            return dest, True
-        return dest, False
-
-    def _query(self, address: str, app_name: str, exclude: tuple,
-               hops: int, requirements: Any = None):
-        """Round-trip a CandidateRequest to another registry."""
-        req_id = f"{self.label}:{next(self._req_counter)}"
-        waiter = self.env.event()
-        self._pending_replies[req_id] = waiter
-        self.endpoint.send_and_forget(
-            address,
-            CandidateRequest(
-                host=self.label,
-                app_name=app_name,
-                req_id=req_id,
-                hops=hops,
-                exclude=tuple(exclude) + (self.label,),
-                requirements_xml=_requirements_xml(requirements),
-            ),
-        )
-        timeout = self.env.timeout(10.0)
-        yield self.env.any_of([waiter, timeout])
-        self._pending_replies.pop(req_id, None)
-        if waiter.triggered:
-            return waiter.value.dest
-        return None
-
-    def _serve_candidate_request(self, msg: CandidateRequest, sender: str):
-        """Answer a destination query from a child or sibling registry."""
-        requirements = _requirements_from_xml(msg.requirements_xml)
-        if msg.hops >= MAX_HOPS:
-            dest = self._pick_destination(exclude=msg.exclude,
-                                          requirements=requirements)
-            if dest is not None and "@" in dest:
-                dest = None  # hop budget exhausted; can't delegate
-        else:
-            dest, _ = yield from self._resolve_destination(
-                exclude=msg.exclude, app_name=msg.app_name,
-                hops=msg.hops, requirements=requirements,
-            )
-        self.endpoint.send_and_forget(
-            sender,
-            CandidateReply(host=self.label, dest=dest, req_id=msg.req_id),
-        )
+            self._perform(self.core.handle(msg, sender))
 
     def _poll_loop(self):
-        """Pull model (§3.2): the registry decides when it needs the
-        information and queries every registered host."""
-        from ..protocol.messages import StatusQuery
-
+        """Pull model (§3.2): query every registered host on a timer."""
         while not self._stopped:
             yield self.env.timeout(self.poll_interval)
-            for record in self.table.records():
-                if "@" in record.host:
-                    continue  # child registries push on their own
-                self.endpoint.send_and_forget(
-                    f"monitor@{record.host}",
-                    StatusQuery(host=record.host),
-                )
+            self._perform(self.core.poll_queries())
 
     def _push_to_parent(self):
-        """Report this registry's aggregate health upward (soft state).
-
-        The aggregate state is the *best* (least severe) state among the
-        children: one free host makes the whole sub-registry a viable
-        migration domain.
-        """
+        """Ship the core's aggregate soft-state report upward."""
         interval = 10.0
         while not self._stopped:
             yield self.env.timeout(interval)
-            available = self.table.available()
-            if available:
-                state = SystemState(
-                    min(int(self.table.effective_state(r))
-                        for r in available)
-                )
-                # Advertise the best offer: the least-loaded available
-                # host's full metric set, so the parent's destination
-                # conditions evaluate against a real candidate.
-                best = min(
-                    available,
-                    key=lambda r: r.metrics.get("loadavg1", 0.0),
-                )
-                metrics = dict(best.metrics)
-            else:
-                state = SystemState.BUSY
-                metrics = {}
-            metrics["hosts"] = float(len(available))
-            self.endpoint.send_and_forget(
-                self.parent_address,
-                StatusUpdate(host=self.label, state=state,
-                             metrics=metrics),
-            )
+            send = self.core.parent_update()
+            if send is not None:
+                self.endpoint.send_and_forget(send.to, send.msg)

@@ -50,6 +50,10 @@ EV_HPCM_MIGRATION = "hpcm.migration"
 EV_APP_START = "app.start"
 EV_APP_FINISH = "app.finish"
 
+# -- live runtime (real sockets; the HPCM analog is a pickled state) -----
+EV_LIVE_SHIP = "live.state_ship"
+EV_LIVE_RESUME = "live.state_resume"
+
 # -- rescheduler façade --------------------------------------------------
 EV_RESCHEDULER_DEPLOY = "rescheduler.deploy"
 EV_RESCHEDULER_STOP = "rescheduler.stop"
@@ -78,11 +82,11 @@ EVENTS = {
             ("event", "process"),
             "one kernel event dispatched (opt-in, very chatty)"),
         EventSpec(
-            EV_MONITOR_SAMPLE, "span", "repro.monitor.monitor",
+            EV_MONITOR_SAMPLE, "span", "repro.monitor.core",
             ("cycle", "state", "reported"),
             "one monitoring cycle: scripts run, state classified"),
         EventSpec(
-            EV_MONITOR_REPORT, "event", "repro.monitor.monitor",
+            EV_MONITOR_REPORT, "event", "repro.monitor.core",
             ("state", "to"),
             "soft-state status push sent to the registry"),
         EventSpec(
@@ -95,11 +99,11 @@ EVENTS = {
             ("state", "root", "rules"),
             "whole-host rule evaluation produced a state"),
         EventSpec(
-            EV_REGISTRY_REGISTER, "event", "repro.registry.registry",
+            EV_REGISTRY_REGISTER, "event", "repro.registry.core",
             ("registry",),
             "a host (re-)registered with the registry/scheduler"),
         EventSpec(
-            EV_REGISTRY_UPDATE, "event", "repro.registry.registry",
+            EV_REGISTRY_UPDATE, "event", "repro.registry.core",
             ("state", "registry"),
             "a soft-state push was folded into the host table"),
         EventSpec(
@@ -107,15 +111,15 @@ EVENTS = {
             ("last_update", "lease"),
             "a host's lease lapsed; record demoted to UNAVAILABLE"),
         EventSpec(
-            EV_REGISTRY_DECIDE, "span", "repro.registry.registry",
+            EV_REGISTRY_DECIDE, "span", "repro.registry.core",
             ("pid", "app", "dest", "escalated"),
             "scheduling decision: victim chosen, destination resolved"),
         EventSpec(
-            EV_REGISTRY_COMMAND, "event", "repro.registry.registry",
+            EV_REGISTRY_COMMAND, "event", "repro.registry.core",
             ("pid", "dest", "decision_s"),
             "MigrateCommand sent to the source host's commander"),
         EventSpec(
-            EV_COMMANDER_SIGNAL, "event", "repro.commander.commander",
+            EV_COMMANDER_SIGNAL, "event", "repro.commander.core",
             ("pid", "dest", "delivered", "detail"),
             "commander delivered the migration signal to the process"),
         EventSpec(
@@ -154,6 +158,14 @@ EVENTS = {
             EV_APP_FINISH, "event", "repro.hpcm.runtime",
             ("app", "status"),
             "managed application finished (done or failed)"),
+        EventSpec(
+            EV_LIVE_SHIP, "event", "repro.live.node",
+            ("task", "dest", "bytes", "ok"),
+            "live node checkpointed a task and shipped its state"),
+        EventSpec(
+            EV_LIVE_RESUME, "event", "repro.live.node",
+            ("task", "origin", "hops"),
+            "live node received a state blob and resumed the task"),
         EventSpec(
             EV_RESCHEDULER_DEPLOY, "event", "repro.core.rescheduler",
             ("hosts", "policy", "mode"),

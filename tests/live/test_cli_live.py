@@ -1,0 +1,21 @@
+"""The ``repro live`` subcommand: bounded end-to-end demo."""
+
+from repro.cli import main
+
+
+def test_repro_live_runs_one_migration(capsys):
+    rc = main(["live", "--n", "4000000", "--timeout", "45",
+               "--interval", "0.1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "decision log" in out
+    assert "result correct" in out
+
+
+def test_repro_live_hierarchy_escalates(capsys):
+    rc = main(["live", "--n", "4000000", "--timeout", "45",
+               "--interval", "0.1", "--hierarchy"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "yes" in out  # an escalated decision in the log
+    assert "result correct" in out

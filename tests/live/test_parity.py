@@ -1,0 +1,161 @@
+"""Sim/live decision parity: one brain, two drivers.
+
+The tentpole guarantee of the entity-core split: feeding the *same*
+scripted StatusUpdate sequence to the simulation's RegistryScheduler
+(kernel driver) and to the LiveRegistry (thread/socket driver) must
+produce the *same* decision list — same victims, same destinations,
+same cooldown suppressions, same dest-is-None outcomes — because both
+drivers pump the one RegistryCore.
+"""
+
+import time
+
+from repro.cluster import Cluster
+from repro.core import MetricPredicate, MigrationPolicy
+from repro.monitor import ProcessInfo
+from repro.protocol import Endpoint, EndpointRegistry, StatusUpdate
+from repro.registry import RegistryScheduler
+from repro.live import LiveEndpoint, LiveRegistry
+from repro.rules import SystemState
+
+
+def wait_for(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def proc(pid, eta, locality=0.0):
+    return ProcessInfo(pid=pid, name="app", start_time=0.0,
+                       est_completion=eta,
+                       data_locality=locality).as_dict()
+
+
+def make_policy():
+    return MigrationPolicy(
+        name="parity",
+        dest_conditions=(MetricPredicate("loadavg1", "<", 1.0),),
+    )
+
+
+#: The scripted sequence, in logical host names.  Each step is
+#: (host, state, metrics, processes, barrier) — ``barrier`` is the
+#: decision count to wait for before moving on (None = no decision
+#: expected from this step).
+def script():
+    overloaded_procs = [
+        proc(101, eta=500.0),
+        proc(102, eta=900.0),          # latest ETA → the victim
+        proc(103, eta=950.0, locality=0.9),  # too data-local to move
+    ]
+    return [
+        # Populate the table: ws2 eligible, ws3 filtered by the policy.
+        ("ws2", SystemState.FREE, {"loadavg1": 0.3}, [], None),
+        ("ws3", SystemState.FREE, {"loadavg1": 2.0}, [], None),
+        # First overload: decision → ws2, pid 102.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 3.0},
+         overloaded_procs, 1),
+        # Second overload inside the cooldown: suppressed.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 3.0},
+         overloaded_procs, None),
+        # Overload with only an immovable process: no decision at all.
+        ("ws4", SystemState.OVERLOADED, {"loadavg1": 4.0},
+         [proc(201, eta=800.0, locality=0.9)], None),
+        # ws2 stops being a destination ...
+        ("ws2", SystemState.BUSY, {"loadavg1": 1.8}, [], None),
+        # ... so the post-cooldown overload decides dest=None.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 3.0},
+         overloaded_procs, 2),
+    ]
+
+
+def normalize(decisions, names):
+    """Decision keys with runtime-specific addresses mapped back to the
+    logical host names (live hosts are socket addresses)."""
+
+    def logical(host):
+        return names.get(host, host)
+
+    return [
+        (logical(d.source), logical(d.dest), d.pid, d.escalated)
+        for d in decisions
+    ]
+
+
+EXPECTED = [
+    ("ws1", "ws2", 102, False),
+    ("ws1", None, 102, False),
+]
+
+
+def run_sim():
+    """Pump the script through the kernel driver."""
+    cluster = Cluster(n_hosts=4, seed=0)
+    directory = EndpointRegistry()
+    registry = RegistryScheduler(
+        cluster["ws4"], directory, policy=make_policy(),
+        command_cooldown=1.0,
+    )
+    fake = Endpoint(cluster["ws1"], directory, name="monitor")
+    # A commander inbox so the ws1 command has somewhere to land.
+    Endpoint(cluster["ws1"], directory, name="commander")
+
+    def sender(env):
+        for host, state, metrics, processes, _ in script():
+            yield env.timeout(0.6)
+            fake.send_and_forget(
+                registry.address,
+                StatusUpdate(host=host, state=state, metrics=metrics,
+                             processes=processes),
+            )
+
+    cluster.env.process(sender(cluster.env))
+    cluster.run(until=30)
+    return normalize(registry.decisions, {})
+
+
+def run_live():
+    """Pump the same script through the thread/socket driver."""
+    registry = LiveRegistry(policy=make_policy(), lease=30.0,
+                            command_cooldown=1.0)
+    # One real endpoint per logical host, so commands are routable.
+    endpoints = {name: LiveEndpoint(name)
+                 for name in ("ws1", "ws2", "ws3", "ws4")}
+    names = {ep.address: name for name, ep in endpoints.items()}
+    sender = endpoints["ws1"]
+    try:
+        # Same 0.6 s pacing as the sim run: the suppressed overload
+        # must land inside the 1.0 s cooldown and the final one past it.
+        for host, state, metrics, processes, barrier in script():
+            time.sleep(0.6)
+            update = StatusUpdate(
+                host=endpoints[host].address, state=state,
+                metrics=metrics, processes=processes,
+            )
+            sender.send_message(registry.address, update,
+                                timestamp=time.time())
+            if barrier is not None:
+                assert wait_for(
+                    lambda: len(registry.decisions) >= barrier
+                ), f"no decision after {host} overload"
+        return normalize(registry.decisions, names)
+    finally:
+        for ep in endpoints.values():
+            ep.close()
+        registry.stop()
+
+
+def test_sim_decisions_match_script():
+    assert run_sim() == EXPECTED
+
+
+def test_live_decisions_match_script():
+    assert run_live() == EXPECTED
+
+
+def test_sim_and_live_runtimes_decide_identically():
+    """The headline parity assertion: identical decision sequences."""
+    assert run_sim() == run_live()

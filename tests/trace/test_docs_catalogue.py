@@ -14,7 +14,7 @@ TRACING_MD = REPO / "docs" / "tracing.md"
 
 #: Pattern of a stable event name as written in docs and code.
 _NAME_RE = re.compile(
-    r"`((?:sim|monitor|rule|registry|commander|hpcm|app|rescheduler)"
+    r"`((?:sim|monitor|rule|registry|commander|hpcm|app|rescheduler|live)"
     r"\.[a-z_]+)`"
 )
 
@@ -40,7 +40,8 @@ def test_catalogue_entries_are_well_formed():
         layer = name.split(".", 1)[0]
         assert re.fullmatch(r"[a-z_]+\.[a-z_]+", name), name
         assert layer in {"sim", "monitor", "rule", "registry",
-                         "commander", "hpcm", "app", "rescheduler"}
+                         "commander", "hpcm", "app", "rescheduler",
+                         "live"}
 
 
 def test_every_event_name_documented_in_tracing_md():
