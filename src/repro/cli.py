@@ -424,8 +424,14 @@ def _lint(args) -> int:
         LintUsageError, exit_code, lint_paths, render_json, render_text,
     )
 
+    def _codes(raw):
+        if raw is None:
+            return None
+        return [c for c in (p.strip() for p in raw.split(",")) if c]
+
     try:
-        diags = lint_paths(args.paths)
+        diags = lint_paths(args.paths, select=_codes(args.select),
+                           ignore=_codes(args.ignore))
     except LintUsageError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -512,14 +518,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="statically check rule files, policies and app schemas",
+        help="statically check rule files, policies, app schemas "
+             "and the Python source contracts",
     )
     lint.add_argument("paths", nargs="+",
-                      help="configuration files or directories")
+                      help="files or directories to lint")
     lint.add_argument("--format", choices=("text", "json"),
                       default="text", help="report format (default text)")
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as errors")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="report only codes matching these "
+                           "comma-separated prefixes (e.g. D3,T505)")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="drop codes matching these comma-separated "
+                           "prefixes")
     lint.set_defaults(func=_lint)
 
     live = sub.add_parser(

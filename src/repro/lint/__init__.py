@@ -12,6 +12,7 @@ from .diagnostics import (
     JSON_REPORT_VERSION,
     Severity,
     exit_code,
+    filter_codes,
     render_json,
     render_text,
     sort_diagnostics,
@@ -21,11 +22,13 @@ from .policylint import METRIC_DOMAINS, lint_policy
 from .rulelint import SCRIPT_DOMAINS, lint_rule_text, lint_ruleset
 from .runner import LintUsageError, classify_file, collect_files, lint_paths
 from .schemalint import HostClass, lint_schema
+from .srclint import KNOWN_CODES, lint_sources
 
 __all__ = [
     "Diagnostic",
     "HostClass",
     "JSON_REPORT_VERSION",
+    "KNOWN_CODES",
     "LintUsageError",
     "METRIC_DOMAINS",
     "SCRIPT_DOMAINS",
@@ -33,11 +36,13 @@ __all__ = [
     "classify_file",
     "collect_files",
     "exit_code",
+    "filter_codes",
     "lint_paths",
     "lint_policy",
     "lint_rule_text",
     "lint_ruleset",
     "lint_schema",
+    "lint_sources",
     "render_json",
     "render_text",
     "sort_diagnostics",

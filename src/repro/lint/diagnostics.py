@@ -76,6 +76,26 @@ def sort_diagnostics(diags: Iterable[Diagnostic]) -> List[Diagnostic]:
     )
 
 
+def filter_codes(
+    diags: Iterable[Diagnostic],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Keep findings whose code matches a ``select`` prefix (all, when
+    ``select`` is empty) and matches no ``ignore`` prefix.  Prefixes
+    compare case-insensitively: ``D3`` covers D301–D306."""
+    select = tuple(s.upper() for s in select or ())
+    ignore = tuple(s.upper() for s in ignore or ())
+
+    def keep(diag: Diagnostic) -> bool:
+        code = diag.code.upper()
+        if select and not any(code.startswith(s) for s in select):
+            return False
+        return not any(code.startswith(s) for s in ignore)
+
+    return [d for d in diags if keep(d)]
+
+
 def summarize(diags: Sequence[Diagnostic]) -> dict:
     return {
         "errors": sum(1 for d in diags if d.severity is Severity.ERROR),

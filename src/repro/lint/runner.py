@@ -14,9 +14,16 @@ analyzer:
   collected first so every schema in the same lint run is checked
   against them (S201).
 
-Everything else (e.g. the ``examples/*.py`` scripts) is skipped.
-Driver-level problems use the ``Lxxx`` codes: ``L001`` unreadable
-file, ``L002`` invalid JSON, ``L003`` nothing lintable found.
+Python sources (``*.py``) route to the source-contract passes in
+:mod:`.srclint` (determinism, effect/trace/wire exhaustiveness);
+everything else (docs, CSVs, …) is skipped.  Driver-level problems use
+the ``Lxxx`` codes: ``L001`` unreadable file, ``L002`` invalid JSON,
+``L003`` nothing lintable found, ``L004`` unparsable Python source,
+``L005`` suppression naming an unknown code.
+
+Overlapping path arguments (``repro lint examples examples/configs``)
+and symlinks to already-visited files are deduplicated by real path,
+so each file is linted — and each finding reported — exactly once.
 """
 
 from __future__ import annotations
@@ -28,7 +35,12 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.policy import policy_from_dict
 from ..schema import ApplicationSchema
-from .diagnostics import Diagnostic, Severity, sort_diagnostics
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    filter_codes,
+    sort_diagnostics,
+)
 from .policylint import lint_policy
 from .rulelint import lint_rule_text
 from .schemalint import HostClass, lint_schema
@@ -40,7 +52,7 @@ class LintUsageError(Exception):
 
 _RULE_EXTENSIONS = (".rules", ".rule")
 _SKIP_EXTENSIONS = (
-    ".py", ".pyc", ".md", ".rst", ".txt", ".csv", ".toml", ".cfg",
+    ".pyc", ".md", ".rst", ".txt", ".csv", ".toml", ".cfg",
     ".ini", ".yml", ".yaml", ".sh", ".lock",
 )
 #: Directory names never descended into: anything hidden (dotted),
@@ -59,28 +71,46 @@ def _keep_dir(name: str) -> bool:
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted candidate-file list."""
+    """Expand files/directories into a sorted candidate-file list.
+
+    Each file is returned once even when the path arguments overlap
+    (``lint examples examples/configs``) or a symlink aliases an
+    already-visited file; ``os.walk`` never follows directory
+    symlinks, so link cycles cannot trap the walker.
+    """
     found: List[str] = []
+    seen: set = set()
+
+    def _add(candidate: str) -> None:
+        real = os.path.realpath(candidate)
+        if real not in seen:
+            seen.add(real)
+            found.append(candidate)
+
     for path in paths:
         if os.path.isdir(path):
-            for dirpath, dirnames, filenames in os.walk(path):
+            for dirpath, dirnames, filenames in os.walk(
+                    path, followlinks=False):
                 dirnames[:] = sorted(filter(_keep_dir, dirnames))
                 for name in sorted(filenames):
                     if not name.startswith("."):
-                        found.append(os.path.join(dirpath, name))
+                        _add(os.path.join(dirpath, name))
         elif os.path.exists(path):
-            found.append(path)
+            _add(path)
         else:
             raise LintUsageError(f"no such file or directory: {path}")
     return found
 
 
 def classify_file(path: str, text: str) -> Optional[str]:
-    """What kind of configuration is this?  One of ``'rules'``,
-    ``'schema'``, ``'policy'``, ``'cluster'`` — or ``None`` (skip)."""
+    """What kind of lintable file is this?  One of ``'rules'``,
+    ``'schema'``, ``'policy'``, ``'cluster'``, ``'pysource'`` — or
+    ``None`` (skip)."""
     lower = path.lower()
     if lower.endswith(_RULE_EXTENSIONS):
         return "rules"
+    if lower.endswith(".py"):
+        return "pysource"
     if lower.endswith(_SKIP_EXTENSIONS):
         return None
     if lower.endswith(".xml"):
@@ -115,14 +145,33 @@ def _read(path: str, diags: List[Diagnostic]) -> Optional[str]:
         return None
 
 
-def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
-    """Lint every configuration under ``paths``; returns all findings."""
+def _parse_code_prefixes(
+    raw: Optional[Sequence[str]],
+) -> Optional[Tuple[str, ...]]:
+    if not raw:
+        return None
+    prefixes = tuple(p.strip().upper() for p in raw if p.strip())
+    return prefixes or None
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint every configuration and Python source under ``paths``.
+
+    ``select``/``ignore`` are code prefixes (``("D3", "T505")``):
+    with ``select``, only matching codes are reported; ``ignore``
+    drops matching codes afterwards.
+    """
     if not paths:
         raise LintUsageError("no paths given")
     files = collect_files(paths)
 
     diags: List[Diagnostic] = []
     work: List[Tuple[str, str, str]] = []  # (kind, path, text)
+    pysources: List[Tuple[str, str]] = []  # (path, text)
     host_classes: List[HostClass] = []
 
     for path in files:
@@ -131,6 +180,9 @@ def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
             continue
         kind = classify_file(path, text)
         if kind is None:
+            continue
+        if kind == "pysource":
+            pysources.append((path, text))
             continue
         if kind == "json":
             diags.append(Diagnostic(
@@ -154,10 +206,10 @@ def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
             continue
         work.append((kind, path, text))
 
-    if not work and not host_classes and not diags:
+    if not work and not pysources and not host_classes and not diags:
         diags.append(Diagnostic(
             code="L003", severity=Severity.WARNING,
-            message="no lintable configuration files found",
+            message="no lintable files found",
             file=paths[0],
         ))
 
@@ -168,6 +220,15 @@ def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
             diags.extend(_lint_schema_file(path, text, host_classes))
         elif kind == "policy":
             diags.extend(_lint_policy_file(path, text))
+    if pysources:
+        from .srclint import lint_sources
+
+        diags.extend(lint_sources(pysources))
+    diags = filter_codes(
+        diags,
+        select=_parse_code_prefixes(select),
+        ignore=_parse_code_prefixes(ignore),
+    )
     return sort_diagnostics(diags)
 
 

@@ -1,0 +1,95 @@
+"""Source-level contract analysis (``repro lint src/``).
+
+Where the config passes (R/P/S) check what operators *write*, these
+passes check what we *implement*: the cross-layer invariants the
+runtime only holds together by convention.  Four families:
+
+* **D300** — determinism sanitizer over sim-reachable modules
+  (:mod:`.determinism`): the golden-trace gate's static half.
+* **E400** — effect exhaustiveness over the core/driver split
+  (:mod:`.effects`).
+* **T500** — trace discipline against the EVENTS catalogue
+  (:mod:`.tracedisc`).
+* **W600** — wire-protocol exhaustiveness (:mod:`.wire`).
+
+Findings can be silenced per line with ``# repro-lint: skip`` (all
+codes) or ``# repro-lint: skip[D301,T505]``; a suppression naming a
+code nothing emits is itself a warning (L005).  See
+``docs/linting.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..diagnostics import Diagnostic
+from .determinism import in_sim_scope, lint_determinism
+from .effects import lint_effects
+from .model import PyModule, parse_sources, suppression_warnings
+from .tracedisc import lint_trace_discipline
+from .wire import lint_wire_protocol
+
+#: Every code any ``repro lint`` pass can emit — config passes, the
+#: driver, and the source passes.  Suppressions are validated against
+#: this set (L005).
+KNOWN_CODES = frozenset({
+    # driver
+    "L001", "L002", "L003", "L004", "L005",
+    # rule files
+    "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    "R010", "R011",
+    # policies
+    "P100", "P101", "P102", "P103", "P104", "P106",
+    # schemas
+    "S200", "S201", "S202", "S203",
+    # determinism
+    "D301", "D302", "D303", "D304", "D305", "D306",
+    # effects
+    "E401", "E402", "E403", "E404",
+    # trace discipline
+    "T501", "T502", "T503", "T504", "T505",
+    # wire protocol
+    "W601", "W602", "W603", "W604",
+})
+
+_PASSES = (
+    lint_determinism,
+    lint_effects,
+    lint_trace_discipline,
+    lint_wire_protocol,
+)
+
+
+def lint_sources(
+    files: Sequence[Tuple[str, str]],
+) -> List[Diagnostic]:
+    """Run every source pass over ``(path, text)`` pairs.
+
+    Inline ``# repro-lint: skip[...]`` suppressions are applied to the
+    pass findings (never to L004 parse errors), and unknown-code
+    suppressions come back as L005 warnings.
+    """
+    modules, diags = parse_sources(files)
+    by_path = {m.path: m for m in modules}
+    for pass_fn in _PASSES:
+        for diag in pass_fn(modules):
+            module = by_path.get(diag.file or "")
+            if module is not None and module.suppressed(
+                    diag.code, diag.line):
+                continue
+            diags.append(diag)
+    diags.extend(suppression_warnings(modules, KNOWN_CODES))
+    return diags
+
+
+__all__ = [
+    "KNOWN_CODES",
+    "PyModule",
+    "in_sim_scope",
+    "lint_determinism",
+    "lint_effects",
+    "lint_sources",
+    "lint_trace_discipline",
+    "lint_wire_protocol",
+    "parse_sources",
+]

@@ -1,0 +1,406 @@
+"""T500 — trace discipline against the stable event catalogue.
+
+PR 2's tracing contract: every emitted record names an ``EVENTS``
+catalogue entry, every catalogue entry is emitted somewhere, and the
+``kind`` declared in the catalogue matches how the site emits it
+(``.event()`` for instants, ``.begin()``/``.span()`` for spans).
+``tests/trace/test_docs_catalogue.py`` diffs the catalogue against the
+docs at test time; this pass promotes the code-side half of that diff
+to a static check and adds span open/close pairing (T505), which no
+test covers.
+
+========  ========  =====================================================
+code      severity  finding
+========  ========  =====================================================
+T501      error     emit site names an event missing from the catalogue
+T502      error     catalogue entry never emitted or referenced
+T503      error     ``EV_*`` constant ↔ catalogue mismatch (constant
+                    never catalogued, or catalogue references an
+                    undefined constant)
+T504      error     kind mismatch: ``.event()`` on a span, or
+                    ``.begin()``/``.span()`` on an instant event
+T505      error     span leak: ``tracer.begin(...)`` bound to a local
+                    that is never ``.end()``-ed and never escapes
+========  ========  =====================================================
+
+The catalogue module is discovered by shape (an ``EVENTS`` dict
+comprehension over spec constructor calls plus ``EV_*`` string
+constants); T501–T504 stay silent when no catalogue is in the linted
+file set.  T505 is purely local and always runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..diagnostics import Diagnostic, Severity
+from .model import (
+    PyModule,
+    imports_from,
+    module_basename,
+    str_const,
+)
+
+_EMIT_ATTRS = frozenset({"event", "begin", "span"})
+_SPAN_EMITS = frozenset({"begin", "span"})
+_KINDS = frozenset({"event", "span"})
+
+
+@dataclass
+class EventCatalogue:
+    """The discovered catalogue: names, kinds and their EV_ constants."""
+
+    module: PyModule
+    #: event name → declared kind.
+    kinds: Dict[str, str]
+    #: event name → line of its spec entry.
+    linenos: Dict[str, int]
+    #: EV_ constant → event name (top-level string assignments).
+    constants: Dict[str, str]
+    #: EV_ constants referenced inside the EVENTS construction.
+    catalogued_constants: Set[str] = field(default_factory=set)
+    #: EV_ constant → line of its assignment.
+    const_linenos: Dict[str, int] = field(default_factory=dict)
+    events_lineno: int = 0
+
+
+def find_event_catalogue(module: PyModule) -> Optional[EventCatalogue]:
+    constants: Dict[str, str] = {}
+    const_linenos: Dict[str, int] = {}
+    events_value: Optional[ast.AST] = None
+    events_lineno = 0
+    for node in module.tree.body:
+        if not (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        target = node.targets[0].id
+        value = str_const(node.value)
+        if target.startswith("EV_") and value is not None:
+            constants[target] = value
+            const_linenos[target] = node.lineno
+        elif target == "EVENTS":
+            events_value = node.value
+            events_lineno = node.lineno
+    if events_value is None or not constants:
+        return None
+
+    kinds: Dict[str, str] = {}
+    linenos: Dict[str, int] = {}
+    catalogued: Set[str] = set()
+    for node in ast.walk(events_value):
+        if not (isinstance(node, ast.Call) and len(node.args) >= 2):
+            continue
+        kind = str_const(node.args[1])
+        if kind not in _KINDS:
+            continue
+        first = node.args[0]
+        name: Optional[str] = None
+        if isinstance(first, ast.Name):
+            catalogued.add(first.id)
+            name = constants.get(first.id)
+        else:
+            name = str_const(first)
+        if name is not None:
+            kinds[name] = kind
+            linenos[name] = node.lineno
+    if not kinds:
+        return None
+    return EventCatalogue(
+        module=module, kinds=kinds, linenos=linenos,
+        constants=constants, catalogued_constants=catalogued,
+        const_linenos=const_linenos, events_lineno=events_lineno,
+    )
+
+
+@dataclass
+class EmitSite:
+    module: PyModule
+    lineno: int
+    attr: str  # event | begin | span
+    #: Resolved event name, or None when the argument is a local
+    #: variable we cannot follow.
+    name: Optional[str]
+    #: EV_ constant the site referenced, when it used one.
+    constant: Optional[str]
+
+
+def _is_tracerish(node: ast.AST) -> bool:
+    """Does this receiver look like a tracer?  Names/attributes
+    containing 'tracer' and calls to *_tracer() factories qualify;
+    ``self.span(...)`` inside the tracer implementation does not."""
+    if isinstance(node, ast.Name):
+        return "tracer" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "tracer" in node.attr.lower() or _is_tracerish(node.value)
+    if isinstance(node, ast.Call):
+        return _is_tracerish(node.func)
+    return False
+
+
+def _collect_emit_sites(
+    module: PyModule, ev_imports: Dict[str, str],
+    constants: Dict[str, str],
+) -> List[EmitSite]:
+    sites: List[EmitSite] = []
+    local_consts = dict(ev_imports)
+    # Inside the catalogue's own package the constants are in scope
+    # without an import.
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMIT_ATTRS
+                and node.args):
+            continue
+        if not _is_tracerish(node.func.value):
+            continue
+        first = node.args[0]
+        name: Optional[str] = str_const(first)
+        constant: Optional[str] = None
+        if name is None and isinstance(first, ast.Name):
+            constant = local_consts.get(first.id)
+            if constant is not None:
+                name = constants.get(constant)
+            else:
+                continue  # a local variable; not statically resolvable
+        elif name is None:
+            continue
+        sites.append(EmitSite(
+            module=module, lineno=node.lineno, attr=node.func.attr,
+            name=name, constant=constant,
+        ))
+    return sites
+
+
+def _begin_call(node: ast.AST) -> Optional[ast.Call]:
+    """The ``tracer.begin(...)`` call inside ``node``, unwrapping the
+    ``x if tracer.enabled else None`` idiom."""
+    if isinstance(node, ast.IfExp):
+        for branch in (node.body, node.orelse):
+            call = _begin_call(branch)
+            if call is not None:
+                return call
+        return None
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "begin"
+            and _is_tracerish(node.func.value)):
+        return node
+    return None
+
+
+def _span_escapes(func: ast.AST, name: str, assign: ast.Assign) -> bool:
+    """Is the span bound to ``name`` closed or handed off somewhere in
+    ``func``?  Ownership transfers we accept: ``.end()`` on the name,
+    returning/yielding it, passing it as a call argument, storing it
+    into an attribute/subscript/another variable, using it in a
+    ``with`` block."""
+    for node in ast.walk(func):
+        if node is assign:
+            continue
+        if (isinstance(node, ast.Attribute)
+                and node.attr == "end"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name):
+            return True
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _names_in(node.value, name):
+                return True
+        if isinstance(node, ast.Call):
+            if any(_names_in(a, name) for a in node.args):
+                return True
+            if any(_names_in(kw.value, name) for kw in node.keywords):
+                return True
+        if isinstance(node, ast.withitem) and _names_in(
+                node.context_expr, name):
+            return True
+        if isinstance(node, ast.Assign) and node is not assign:
+            if _names_in(node.value, name):
+                return True
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if _names_in(target, name, include_store=False):
+                        return True
+    return False
+
+
+def _names_in(node: ast.AST, name: str, include_store: bool = True) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name:
+            if include_store or not isinstance(sub.ctx, ast.Store):
+                return True
+    return False
+
+
+def _lint_span_leaks(module: PyModule) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            if _begin_call(node.value) is None:
+                continue
+            name = node.targets[0].id
+            if not _span_escapes(func, name, node):
+                diags.append(Diagnostic(
+                    code="T505", severity=Severity.ERROR,
+                    message=(
+                        f"span '{name}' opened with tracer.begin() is "
+                        "never .end()-ed and never escapes this "
+                        "function; the span would stay open forever"
+                    ),
+                    file=module.path, line=node.lineno, obj=name,
+                ))
+    return diags
+
+
+def lint_trace_discipline(
+    modules: Sequence[PyModule],
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+
+    catalogues = [
+        c for c in (find_event_catalogue(m) for m in modules)
+        if c is not None
+    ]
+
+    # T505 is local: check every module, catalogue or not — but skip
+    # per-function duplicates when a function is nested (the outer
+    # walk already visited the assignment).
+    seen_leaks: Set[Tuple[str, int]] = set()
+    for module in modules:
+        for diag in _lint_span_leaks(module):
+            key = (diag.file or "", diag.line or 0)
+            if key not in seen_leaks:
+                seen_leaks.add(key)
+                diags.append(diag)
+
+    if not catalogues:
+        return diags
+
+    # Merge the catalogues (one in the real tree; fixtures may carry
+    # their own).  Kinds from the first catalogue defining a name win.
+    kinds: Dict[str, str] = {}
+    constants: Dict[str, str] = {}
+    for cat in catalogues:
+        for name, kind in cat.kinds.items():
+            kinds.setdefault(name, kind)
+        for const, name in cat.constants.items():
+            constants.setdefault(const, name)
+
+    # T503 per catalogue: constants vs catalogue, both directions.
+    for cat in catalogues:
+        for const in sorted(set(cat.constants) - cat.catalogued_constants):
+            # A constant whose *value* appears as a catalogued name via
+            # another constant is still uncatalogued by itself.
+            diags.append(Diagnostic(
+                code="T503", severity=Severity.ERROR,
+                message=(
+                    f"event constant '{const}' is never entered into "
+                    "the EVENTS catalogue"
+                ),
+                file=cat.module.path,
+                line=cat.const_linenos.get(const), obj=const,
+            ))
+        for const in sorted(cat.catalogued_constants - set(cat.constants)):
+            diags.append(Diagnostic(
+                code="T503", severity=Severity.ERROR,
+                message=(
+                    f"EVENTS catalogue references undefined constant "
+                    f"'{const}'"
+                ),
+                file=cat.module.path, line=cat.events_lineno, obj=const,
+            ))
+
+    # Collect emit sites and constant references across all modules.
+    emit_names: Set[str] = set()
+    referenced_constants: Set[str] = set()
+    cat_basenames = {module_basename(c.module) for c in catalogues}
+    cat_dirs = {
+        str(PurePath(c.module.path).parent) for c in catalogues
+    }
+    for module in modules:
+        ev_imports: Dict[str, str] = {}
+        for basename in cat_basenames:
+            for local, orig in imports_from(module, basename).items():
+                if orig.startswith("EV_"):
+                    ev_imports[local] = orig
+        is_catalogue_init = (
+            module_basename(module) == "__init__"
+            and str(PurePath(module.path).parent) in cat_dirs
+        )
+        if not is_catalogue_init:
+            # Re-exports in the catalogue's package __init__ don't
+            # count as "emitted" (T502 would never fire otherwise).
+            referenced_constants.update(ev_imports.values())
+        for site in _collect_emit_sites(module, ev_imports, constants):
+            if site.name is None:
+                continue
+            emit_names.add(site.name)
+            if site.constant:
+                referenced_constants.add(site.constant)
+            if site.name not in kinds:
+                diags.append(Diagnostic(
+                    code="T501", severity=Severity.ERROR,
+                    message=(
+                        f"emit site names unknown event "
+                        f"'{site.name}'; add it to the EVENTS "
+                        "catalogue first"
+                    ),
+                    file=module.path, line=site.lineno, obj=site.name,
+                ))
+            else:
+                kind = kinds[site.name]
+                if site.attr == "event" and kind == "span":
+                    diags.append(Diagnostic(
+                        code="T504", severity=Severity.ERROR,
+                        message=(
+                            f"'{site.name}' is catalogued as a span "
+                            "but emitted with .event(); use "
+                            ".begin()/.span()"
+                        ),
+                        file=module.path, line=site.lineno,
+                        obj=site.name,
+                    ))
+                elif site.attr in _SPAN_EMITS and kind == "event":
+                    diags.append(Diagnostic(
+                        code="T504", severity=Severity.ERROR,
+                        message=(
+                            f"'{site.name}' is catalogued as an "
+                            "instant event but opened with "
+                            f".{site.attr}(); use .event()"
+                        ),
+                        file=module.path, line=site.lineno,
+                        obj=site.name,
+                    ))
+
+    # T502: a catalogued event nothing ever emits or references.
+    # With no reference to the catalogue anywhere in the file set
+    # (single-file lint run), the information is absent — stay silent.
+    if not emit_names and not referenced_constants:
+        return diags
+    for cat in catalogues:
+        name_for = {v: k for k, v in cat.constants.items()}
+        for name in sorted(cat.kinds):
+            const = name_for.get(name)
+            if name in emit_names:
+                continue
+            if const is not None and const in referenced_constants:
+                continue
+            diags.append(Diagnostic(
+                code="T502", severity=Severity.ERROR,
+                message=(
+                    f"catalogued event '{name}' is never emitted or "
+                    "referenced outside the catalogue; dead weight"
+                ),
+                file=cat.module.path,
+                line=cat.linenos.get(name), obj=name,
+            ))
+    return diags

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..entity.outbox import Deliver, Effects, Query, Send, Spend, Task
 from ..monitor.selector import ProcessInfo, select_victim
 from ..protocol.messages import (
+    Ack,
     CandidateReply,
     CandidateRequest,
     MigrateCommand,
@@ -179,7 +180,13 @@ class RegistryCore:
                          gen=self._serve_candidate_request(msg, sender))]
         if isinstance(msg, CandidateReply):
             return [Deliver(req_id=msg.req_id, reply=msg)]
-        # Ack and anything else: ignored.
+        if isinstance(msg, Ack):
+            # The commander's receipt for a MigrateCommand.  The
+            # registry acts on the *outcome* through the next status
+            # push, so the receipt itself needs no effects — but it is
+            # a deliberate terminal state, not a dropped message.
+            return []
+        # Anything else: ignored.
         return []
 
     # -- scheduling decision ----------------------------------------------

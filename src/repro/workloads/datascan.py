@@ -20,6 +20,7 @@ import numpy as np
 
 from ..hpcm.app import MigratableApp
 from ..schema import ApplicationSchema, Characteristics
+from ..sim.rng import seeded_generator
 
 
 @dataclass
@@ -35,7 +36,7 @@ class ScanState:
     #: Rolling checksum over simulated records (real arithmetic).
     digest: int = 0
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
+        default_factory=lambda: seeded_generator(0)
     )
 
 
@@ -57,7 +58,7 @@ class DataScanApp(MigratableApp):
             passes_total=passes,
             chunk_bytes=chunk,
             scan_rate=scan_rate,
-            rng=np.random.default_rng(seed),
+            rng=seeded_generator(seed),
         )
 
     def run_step(self, state: ScanState, ctx: Any):
@@ -91,7 +92,7 @@ class DataScanApp(MigratableApp):
         """Ground truth digest (for migration-invariance checks)."""
         state = DataScanApp().create_state(params, None)
         digest = 0
-        rng = np.random.default_rng(int(params.get("seed", 0)))
+        rng = seeded_generator(int(params.get("seed", 0)))
         steps_per_pass = -(-state.dataset_bytes // state.chunk_bytes)
         for _ in range(state.passes_total * steps_per_pass):
             records = rng.integers(0, 2**32, size=256, dtype=np.uint64)

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..hpcm.app import MigratableApp
 from ..schema import ApplicationSchema, Characteristics
+from ..sim.rng import seeded_generator
 
 
 @dataclass
@@ -29,7 +30,7 @@ class PiState:
     total: int = 0
     pi_estimate: float = 0.0
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
+        default_factory=lambda: seeded_generator(0)
     )
 
 
@@ -52,7 +53,7 @@ class MonteCarloPiApp(MigratableApp):
             batches_total=batches,
             batch_size=batch_size,
             sample_cost=sample_cost,
-            rng=np.random.default_rng(seed + 10_000 * self.my_rank),
+            rng=seeded_generator(seed + 10_000 * self.my_rank),
         )
 
     def run_step(self, state: PiState, ctx: Any):

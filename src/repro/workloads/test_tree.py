@@ -27,6 +27,7 @@ import numpy as np
 
 from ..hpcm.app import MigratableApp
 from ..schema import ApplicationSchema, Characteristics
+from ..sim.rng import seeded_generator
 
 
 @dataclass
@@ -42,7 +43,7 @@ class TreeState:
     checksum: float = 0.0
     #: RNG travels with the state so results are migration-invariant.
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
+        default_factory=lambda: seeded_generator(0)
     )
 
     @property
@@ -71,7 +72,7 @@ class TestTreeApp(MigratableApp):
             levels=levels,
             trees_total=trees,
             node_cost=node_cost,
-            rng=np.random.default_rng(seed),
+            rng=seeded_generator(seed),
         )
 
     def run_step(self, state: TreeState, ctx: Any):
@@ -119,7 +120,7 @@ class TestTreeApp(MigratableApp):
         levels = int(params.get("levels", 10))
         trees = int(params.get("trees", 4))
         seed = int(params.get("seed", 0))
-        rng = np.random.default_rng(seed)
+        rng = seeded_generator(seed)
         n = 2 ** levels - 1
         built = [rng.random(n) for _ in range(trees)]
         return float(sum(np.sort(t).sum() for t in built))

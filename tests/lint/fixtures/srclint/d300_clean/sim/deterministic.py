@@ -1,0 +1,21 @@
+"""Fixture: sim-scoped code that keeps every determinism rule."""
+
+
+def draw(rng):
+    # Draws come from an injected, seeded generator.
+    return rng.random()
+
+
+def tick(clock):
+    # Time comes from the Clock protocol.
+    return clock.now
+
+
+def stable(hosts):
+    # Set used only for dedup; iteration order pinned by sorted().
+    return [host for host in sorted(set(hosts))]
+
+
+def membership(hosts, name):
+    # Membership tests and len() on sets are order-free and fine.
+    return name in set(hosts) and len(set(hosts)) > 1

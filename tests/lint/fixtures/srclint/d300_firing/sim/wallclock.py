@@ -1,0 +1,39 @@
+"""Fixture: every determinism-sanitizer code fires in this module.
+
+The ``sim/`` path segment puts the file in sim scope.
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    t = time.time()                  # D301 wall clock
+    day = datetime.now()             # D301 wall clock
+    return t, day
+
+
+def token():
+    salt = os.urandom(8)             # D302 OS entropy
+    tag = uuid.uuid4()               # D302 OS entropy
+    return salt, tag
+
+
+def draw():
+    x = random.random()              # D303 global stdlib state
+    np.random.seed(7)                # D303 numpy global state
+    gen = np.random.default_rng(42)  # D304 ad-hoc generator
+    return x, gen
+
+
+def unstable(hosts):
+    for host in set(hosts):          # D305 unordered iteration
+        print(host)
+    ordered = list({"a", "b"})       # D305 order-sensitive builtin
+    time.sleep(0.1)                  # D306 real delay
+    return ordered

@@ -1,0 +1,32 @@
+"""Fixture outbox: a complete effect vocabulary."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Emit:
+    to: str
+
+
+@dataclass(frozen=True)
+class Wait:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Ask:
+    req_id: str
+
+
+@dataclass(frozen=True)
+class Answer:
+    req_id: str
+
+
+@dataclass(frozen=True)
+class Spawn:
+    name: str
+
+
+Effect = Union[Emit, Wait, Ask, Answer, Spawn]

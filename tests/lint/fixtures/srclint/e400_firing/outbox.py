@@ -1,0 +1,37 @@
+"""Fixture outbox: one effect dataclass is missing from the union."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Send:
+    to: str
+
+
+@dataclass(frozen=True)
+class Spend:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Query:
+    req_id: str
+
+
+@dataclass(frozen=True)
+class Deliver:
+    req_id: str
+
+
+@dataclass(frozen=True)
+class Task:
+    name: str
+
+
+@dataclass(frozen=True)
+class Cancel:  # E401: defined but absent from the Effect union
+    reason: str
+
+
+Effect = Union[Send, Spend, Query, Deliver, Task]

@@ -1,0 +1,17 @@
+"""Fixture: inline suppressions — targeted, blanket, and a typo."""
+
+import time
+
+
+def now():
+    return time.time()  # repro-lint: skip[D301]
+
+
+def later():
+    return time.time()  # repro-lint: skip
+
+
+def wrong_code():
+    # The D301 below is NOT silenced: the suppression names D999,
+    # which nothing emits — that typo itself is an L005 warning.
+    return time.time()  # repro-lint: skip[D999]

@@ -1,0 +1,22 @@
+"""Fixture: disciplined emit sites — every span closed or escaping."""
+
+from events import EV_TICK_DONE, EV_TICK_START
+
+
+def report(tracer):
+    span = tracer.begin(EV_TICK_START)
+    tracer.event(EV_TICK_DONE)
+    span.end()
+
+
+def report_guarded(tracer):
+    # The real codebase's idiom: conditional begin, matched end.
+    span = tracer.begin(EV_TICK_START) if tracer.enabled else None
+    if span is not None:
+        span.end()
+
+
+def report_escaping(tracer, sink):
+    # Ownership transfer: passing the span onward is not a leak.
+    span = tracer.begin(EV_TICK_START)
+    sink(span)

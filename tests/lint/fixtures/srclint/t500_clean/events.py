@@ -1,0 +1,21 @@
+"""Fixture catalogue: constants and entries in perfect agreement."""
+
+from dataclasses import dataclass
+
+EV_TICK_START = "tick.start"
+EV_TICK_DONE = "tick.done"
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    name: str
+    kind: str
+
+
+EVENTS = {
+    spec.name: spec
+    for spec in (
+        EventSpec(EV_TICK_START, "span"),
+        EventSpec(EV_TICK_DONE, "event"),
+    )
+}

@@ -1,0 +1,11 @@
+"""Fixture: undisciplined emit sites."""
+
+from events import EV_PING, EV_WORK
+
+
+def report(tracer):
+    tracer.event(EV_PING)
+    tracer.event("demo.unknown")     # T501: not in the catalogue
+    tracer.event(EV_WORK)            # T504: span emitted as instant
+    span = tracer.begin(EV_PING)     # T504 (instant opened as span)
+    return None                      # ... and T505: never .end()-ed

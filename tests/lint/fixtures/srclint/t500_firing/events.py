@@ -1,0 +1,24 @@
+"""Fixture catalogue: a stray constant and a dead entry."""
+
+from dataclasses import dataclass
+
+EV_PING = "demo.ping"
+EV_PONG = "demo.pong"   # T503: never entered into the catalogue
+EV_IDLE = "demo.idle"   # T502: catalogued below but never emitted
+EV_WORK = "demo.work"
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    name: str
+    kind: str
+
+
+EVENTS = {
+    spec.name: spec
+    for spec in (
+        EventSpec(EV_PING, "event"),
+        EventSpec(EV_IDLE, "event"),
+        EventSpec(EV_WORK, "span"),
+    )
+}

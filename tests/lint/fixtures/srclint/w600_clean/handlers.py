@@ -1,0 +1,11 @@
+"""Fixture: every message type has an isinstance handler."""
+
+from messages import Goodbye, Hello
+
+
+def handle(msg):
+    if isinstance(msg, Hello):
+        return "hello back"
+    if isinstance(msg, Goodbye):
+        return "bye"
+    return None

@@ -1,0 +1,26 @@
+"""Fixture wire protocol: complete, registered, decodable."""
+
+
+class Hello:
+    TYPE = "hello"
+
+    def body(self):
+        return "<hello/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class Goodbye:
+    TYPE = "goodbye"
+
+    def body(self):
+        return "<goodbye/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+MESSAGE_TYPES = {cls.TYPE: cls for cls in (Hello, Goodbye)}

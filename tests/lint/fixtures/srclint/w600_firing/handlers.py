@@ -1,0 +1,9 @@
+"""Fixture: an entity handling only one of the message types."""
+
+from messages import Ping
+
+
+def handle(msg):
+    if isinstance(msg, Ping):
+        return "pong"
+    return None

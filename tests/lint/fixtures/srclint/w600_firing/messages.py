@@ -1,0 +1,30 @@
+"""Fixture wire protocol: every W600 code fires here."""
+
+
+class Ping:
+    TYPE = "ping"
+
+    def body(self):
+        return "<ping/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class Pong:  # W602: no from_body; W604: no handler anywhere
+    TYPE = "pong"
+
+    def body(self):
+        return "<pong/>"
+
+
+class Data:  # W601: unregistered; W602: no body; W604: unhandled
+    TYPE = "ping"  # W603: duplicate wire string
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+MESSAGE_TYPES = {cls.TYPE: cls for cls in (Ping, Pong)}

@@ -11,7 +11,7 @@ from repro.lint import LintUsageError, classify_file, lint_paths
 
 def test_classify_file_by_extension_and_content():
     assert classify_file("a.rules", "") == "rules"
-    assert classify_file("a.py", "rl_number: 1") is None
+    assert classify_file("a.py", "rl_number: 1") == "pysource"
     assert classify_file("a.xml", "<applicationSchema/>") == "schema"
     assert classify_file("noext", "rl_number: 1\n") == "rules"
     assert classify_file("noext", "nothing here") is None

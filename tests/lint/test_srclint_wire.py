@@ -1,0 +1,69 @@
+"""W600 wire-protocol exhaustiveness: registration, codec, handlers."""
+
+import os
+
+from repro.lint import lint_paths
+from repro.lint.srclint import lint_wire_protocol
+from repro.lint.srclint.model import parse_sources
+
+
+def _fixture(name):
+    return os.path.join(os.path.dirname(__file__), "fixtures",
+                        "srclint", name)
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+def test_firing_fixture_raises_every_code():
+    diags = lint_paths([_fixture("w600_firing")])
+    assert set(_codes(diags)) == {"W601", "W602", "W603", "W604"}
+    unhandled = {d.obj for d in diags if d.code == "W604"}
+    assert unhandled == {"Pong", "Data"}
+    dup = next(d for d in diags if d.code == "W603")
+    assert "'ping'" in dup.message
+
+
+def test_clean_fixture_is_clean():
+    assert lint_paths([_fixture("w600_clean")]) == []
+
+
+def test_w604_stays_silent_without_any_importer():
+    # Linting the messages module alone gives no handler information;
+    # registration/codec checks still run.
+    with open(os.path.join(_fixture("w600_firing"), "messages.py"),
+              encoding="utf-8") as fh:
+        text = fh.read()
+    diags = lint_wire_protocol(
+        parse_sources([("messages.py", text)])[0]
+    )
+    codes = set(_codes(diags))
+    assert "W604" not in codes
+    assert {"W601", "W602", "W603"} <= codes
+
+
+def test_real_tree_wire_contract_is_discovered_and_clean():
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "src", "repro",
+    )
+    files = []
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                with open(path, encoding="utf-8") as fh:
+                    files.append((path, fh.read()))
+    modules, _ = parse_sources(files)
+    from repro.lint.srclint.wire import find_wire_contract
+
+    contracts = [
+        c for c in (find_wire_contract(m) for m in modules) if c
+    ]
+    assert len(contracts) == 1
+    names = {mc.name for mc in contracts[0].classes}
+    assert "Ack" in names and "MigrateCommand" in names
+    # Every message class — including Ack — has a handler somewhere.
+    assert lint_wire_protocol(modules) == []
