@@ -421,7 +421,8 @@ def _live(args) -> int:
 
 def _lint(args) -> int:
     from .lint import (
-        LintUsageError, exit_code, lint_paths, render_json, render_text,
+        LintUsageError, exit_code, lint_paths, render_json,
+        render_sarif, render_text,
     )
 
     def _codes(raw):
@@ -431,11 +432,14 @@ def _lint(args) -> int:
 
     try:
         diags = lint_paths(args.paths, select=_codes(args.select),
-                           ignore=_codes(args.ignore))
+                           ignore=_codes(args.ignore), jobs=args.jobs)
     except LintUsageError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_text)
     print(render(diags))
     return exit_code(diags, strict=args.strict)
 
@@ -523,10 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="+",
                       help="files or directories to lint")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text", help="report format (default text)")
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as errors")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="parse Python sources across N processes "
+                           "(same findings, same order; default 1)")
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="report only codes matching these "
                            "comma-separated prefixes (e.g. D3,T505)")

@@ -14,6 +14,7 @@ from .diagnostics import (
     exit_code,
     filter_codes,
     render_json,
+    render_sarif,
     render_text,
     sort_diagnostics,
     summarize,
@@ -44,6 +45,7 @@ __all__ = [
     "lint_schema",
     "lint_sources",
     "render_json",
+    "render_sarif",
     "render_text",
     "sort_diagnostics",
     "summarize",

@@ -130,6 +130,68 @@ def render_json(diags: Sequence[Diagnostic]) -> str:
     )
 
 
+#: SARIF severity levels by diagnostic severity (SARIF 2.1.0 §3.27.10).
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_sarif(diags: Sequence[Diagnostic]) -> str:
+    """The code-scanning reporter: a SARIF 2.1.0 document GitHub (and
+    any SARIF viewer) can ingest.  One run, one rule per distinct
+    code, one result per finding."""
+    diags = sort_diagnostics(diags)
+    rules = []
+    for code in sorted({d.code for d in diags}):
+        level = _SARIF_LEVELS[max(
+            (d.severity for d in diags if d.code == code),
+            key=lambda s: s.rank,
+        )]
+        rules.append({
+            "id": code,
+            "defaultConfiguration": {"level": level},
+        })
+    results = []
+    for d in diags:
+        result = {
+            "ruleId": d.code,
+            "level": _SARIF_LEVELS[d.severity],
+            "message": {"text": d.message},
+        }
+        if d.file:
+            region = {"startLine": d.line} if d.line else {}
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d.file.replace("\\", "/")},
+                },
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    return json.dumps(
+        {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            }],
+        },
+        indent=2,
+    )
+
+
 def exit_code(diags: Sequence[Diagnostic], strict: bool = False) -> int:
     """0 when clean, 1 when errors (with ``strict``, warnings too)."""
     worst = Severity.WARNING.rank if strict else Severity.ERROR.rank

@@ -158,15 +158,20 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[Diagnostic]:
     """Lint every configuration and Python source under ``paths``.
 
     ``select``/``ignore`` are code prefixes (``("D3", "T505")``):
     with ``select``, only matching codes are reported; ``ignore``
-    drops matching codes afterwards.
+    drops matching codes afterwards.  ``jobs > 1`` parallelizes the
+    Python-source parse across processes; the diagnostic list is
+    identical to a serial run (plan-order collection).
     """
     if not paths:
         raise LintUsageError("no paths given")
+    if jobs < 1:
+        raise LintUsageError("--jobs must be >= 1")
     files = collect_files(paths)
 
     diags: List[Diagnostic] = []
@@ -223,7 +228,7 @@ def lint_paths(
     if pysources:
         from .srclint import lint_sources
 
-        diags.extend(lint_sources(pysources))
+        diags.extend(lint_sources(pysources, jobs=jobs))
     diags = filter_codes(
         diags,
         select=_parse_code_prefixes(select),

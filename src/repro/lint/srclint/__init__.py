@@ -16,6 +16,15 @@ Findings can be silenced per line with ``# repro-lint: skip`` (all
 codes) or ``# repro-lint: skip[D301,T505]``; a suppression naming a
 code nothing emits is itself a warning (L005).  See
 ``docs/linting.md`` for the full catalogue.
+
+Two families added by PR 6 are *whole-project* passes: they run over a
+:class:`~.model.ProjectModel` (resolved import edges) built once per
+lint run:
+
+* **C700** — concurrency sanitizer over the live threading model
+  (:mod:`.concurrency`).
+* **M800** — message-flow analyzer over the send→handler graph
+  (:mod:`.msgflow`): the static twin of the decision-parity tests.
 """
 
 from __future__ import annotations
@@ -23,9 +32,17 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..diagnostics import Diagnostic
+from .concurrency import lint_concurrency
 from .determinism import in_sim_scope, lint_determinism
 from .effects import lint_effects
-from .model import PyModule, parse_sources, suppression_warnings
+from .model import (
+    ProjectModel,
+    PyModule,
+    build_project,
+    parse_sources,
+    suppression_warnings,
+)
+from .msgflow import lint_message_flow
 from .tracedisc import lint_trace_discipline
 from .wire import lint_wire_protocol
 
@@ -50,6 +67,10 @@ KNOWN_CODES = frozenset({
     "T501", "T502", "T503", "T504", "T505",
     # wire protocol
     "W601", "W602", "W603", "W604",
+    # concurrency
+    "C701", "C702", "C703", "C704", "C705",
+    # message flow
+    "M801", "M802", "M803", "M804",
 })
 
 _PASSES = (
@@ -59,35 +80,54 @@ _PASSES = (
     lint_wire_protocol,
 )
 
+#: Passes that consume the whole-project model (import edges).
+_PROJECT_PASSES = (
+    lint_concurrency,
+    lint_message_flow,
+)
+
 
 def lint_sources(
     files: Sequence[Tuple[str, str]],
+    jobs: int = 1,
 ) -> List[Diagnostic]:
     """Run every source pass over ``(path, text)`` pairs.
 
     Inline ``# repro-lint: skip[...]`` suppressions are applied to the
     pass findings (never to L004 parse errors), and unknown-code
-    suppressions come back as L005 warnings.
+    suppressions come back as L005 warnings.  ``jobs`` fans the
+    per-file parse over a process pool (diagnostic order unchanged).
     """
-    modules, diags = parse_sources(files)
+    modules, diags = parse_sources(files, jobs=jobs)
     by_path = {m.path: m for m in modules}
-    for pass_fn in _PASSES:
-        for diag in pass_fn(modules):
+    project = build_project(modules)
+
+    def run(pass_diags):
+        for diag in pass_diags:
             module = by_path.get(diag.file or "")
             if module is not None and module.suppressed(
                     diag.code, diag.line):
                 continue
             diags.append(diag)
+
+    for pass_fn in _PASSES:
+        run(pass_fn(modules))
+    for pass_fn in _PROJECT_PASSES:
+        run(pass_fn(modules, project))
     diags.extend(suppression_warnings(modules, KNOWN_CODES))
     return diags
 
 
 __all__ = [
     "KNOWN_CODES",
+    "ProjectModel",
     "PyModule",
+    "build_project",
     "in_sim_scope",
+    "lint_concurrency",
     "lint_determinism",
     "lint_effects",
+    "lint_message_flow",
     "lint_sources",
     "lint_trace_discipline",
     "lint_wire_protocol",

@@ -33,7 +33,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..diagnostics import Diagnostic, Severity
-from .model import PyModule, imports_from, module_basename
+from .model import (
+    PyModule,
+    imports_from,
+    isinstance_targets,
+    module_basename,
+)
 
 #: Imports that mark a module as a *driver* (it owns real machinery —
 #: threads, sockets, the sim kernel — and may yield whatever its
@@ -167,29 +172,6 @@ def _is_driver(module: PyModule) -> bool:
     return False
 
 
-def _isinstance_effects(
-    body: ast.AST, local_effects: Dict[str, str]
-) -> Set[str]:
-    """Effect origin-names isinstance-dispatched anywhere in ``body``."""
-    seen: Set[str] = set()
-    for node in ast.walk(body):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "isinstance"
-                and len(node.args) == 2):
-            continue
-        second = node.args[1]
-        names = (
-            [second] if isinstance(second, ast.Name)
-            else list(second.elts) if isinstance(second, ast.Tuple)
-            else []
-        )
-        for name in names:
-            if isinstance(name, ast.Name) and name.id in local_effects:
-                seen.add(local_effects[name.id])
-    return seen
-
-
 def _check_user(
     module: PyModule,
     contract: EffectContract,
@@ -206,7 +188,7 @@ def _check_user(
     # real drivers split handling between _perform and _pump).
     for cls in (n for n in module.tree.body
                 if isinstance(n, ast.ClassDef)):
-        handled = _isinstance_effects(cls, local_effects)
+        handled = isinstance_targets(cls, local_effects)
         if not handled:
             continue
         missing = sorted(contract.effects - handled)

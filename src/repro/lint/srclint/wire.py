@@ -34,7 +34,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..diagnostics import Diagnostic, Severity
-from .model import PyModule, imports_from, module_basename, str_const
+from .model import (
+    PyModule,
+    imports_from,
+    isinstance_targets,
+    module_basename,
+    str_const,
+)
 
 
 @dataclass
@@ -106,27 +112,18 @@ def find_wire_contract(module: PyModule) -> Optional[WireContract]:
     )
 
 
-def _handled_classes(
-    module: PyModule, local_names: Dict[str, str]
-) -> Set[str]:
-    """Message origin-names isinstance-checked anywhere in ``module``."""
-    handled: Set[str] = set()
-    for node in ast.walk(module.tree):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "isinstance"
-                and len(node.args) == 2):
-            continue
-        second = node.args[1]
-        candidates = (
-            [second] if isinstance(second, ast.Name)
-            else list(second.elts) if isinstance(second, ast.Tuple)
-            else []
-        )
-        for name in candidates:
-            if isinstance(name, ast.Name) and name.id in local_names:
-                handled.add(local_names[name.id])
-    return handled
+def handler_local_names(
+    importer: PyModule, contract: WireContract
+) -> Dict[str, str]:
+    """Local name → class name for contract classes ``importer`` sees."""
+    class_names = {mc.name for mc in contract.classes}
+    return {
+        local: orig
+        for local, orig in imports_from(
+            importer, module_basename(contract.module)
+        ).items()
+        if orig in class_names
+    }
 
 
 def lint_wire_protocol(modules: Sequence[PyModule]) -> List[Diagnostic]:
@@ -137,7 +134,6 @@ def lint_wire_protocol(modules: Sequence[PyModule]) -> List[Diagnostic]:
     ]
     for contract in contracts:
         module = contract.module
-        basename = module_basename(module)
 
         by_type: Dict[str, MessageClass] = {}
         for mc in contract.classes:
@@ -185,15 +181,10 @@ def lint_wire_protocol(modules: Sequence[PyModule]) -> List[Diagnostic]:
         for other in modules:
             if other is module:
                 continue
-            imported = imports_from(other, basename)
-            class_names = {mc.name for mc in contract.classes}
-            local_names = {
-                local: orig for local, orig in imported.items()
-                if orig in class_names
-            }
+            local_names = handler_local_names(other, contract)
             if local_names:
                 importers += 1
-                handled |= _handled_classes(other, local_names)
+                handled |= isinstance_targets(other.tree, local_names)
         if not importers:
             continue
         for mc in contract.classes:

@@ -36,7 +36,12 @@ from ..commander.core import CommanderCore
 from ..entity.clock import WallClock
 from ..monitor.core import MonitorCore
 from ..monitor.scripts import SnapshotScriptEngine
-from ..protocol.messages import MigrateCommand, Register, Unregister
+from ..protocol.messages import (
+    MigrateCommand,
+    Register,
+    StatusQuery,
+    Unregister,
+)
 from ..rules.model import RuleSet, SimpleRule
 from ..trace import get_tracer
 from ..trace.events import EV_LIVE_RESUME, EV_LIVE_SHIP
@@ -103,6 +108,10 @@ class LiveNode:
         self.migrations_out = 0
         self.migrations_in = 0
         self._lock = threading.Lock()
+        #: Serializes MonitorCore cycles: the periodic loop and the
+        #: StatusQuery pull path both pump the core.  Ordering is
+        #: always _mon_lock → _lock, never the reverse.
+        self._mon_lock = threading.Lock()
         self._stop = threading.Event()
         self._cpu = proc_sensors.CpuIdleSampler()
         self._net = proc_sensors.NetRateSampler()
@@ -173,7 +182,8 @@ class LiveNode:
 
     def inject_load(self, load: float) -> None:
         """Add synthetic load (the demo's 'additional tasks')."""
-        self.injected_load = float(load)
+        with self._lock:
+            self.injected_load = float(load)
 
     def current_load(self) -> float:
         with self._lock:
@@ -226,9 +236,9 @@ class LiveNode:
                          ok=ok)
         with self._lock:
             self.tasks.pop(task.task_id, None)
-        if ok:
-            self.migrations_out += 1
-        else:
+            if ok:
+                self.migrations_out += 1
+        if not ok:
             # Destination unreachable: resume locally (no loss).
             task.migrate_to = None
             with self._lock:
@@ -249,13 +259,20 @@ class LiveNode:
                     ack = self.commander.command(msg)
                     self.endpoint.send_message(sender, ack,
                                                timestamp=time.time())
+                elif isinstance(msg, StatusQuery):
+                    # The registry's pull path (§3.2): answer with a
+                    # full monitor cycle, same as the sim monitor.
+                    self.endpoint.send_message(sender,
+                                               self._status_update(),
+                                               timestamp=time.time())
             elif kind == "state":
                 header, blob = payload
                 state = pickle.loads(blob)
                 task = self.submit(header["task_type"], state,
                                    est_seconds=header["est_seconds"])
                 task.hops = header.get("hops", 1)
-                self.migrations_in += 1
+                with self._lock:
+                    self.migrations_in += 1
                 tracer = get_tracer()
                 if tracer.enabled:
                     tracer.event(EV_LIVE_RESUME, t=self._clock.now,
@@ -301,17 +318,18 @@ class LiveNode:
             )
 
     def _status_update(self):
-        span = self.monitor.begin_cycle()
-        snapshot = self.engine.refresh()
-        with self._lock:
-            processes = [
-                {
-                    "pid": t.task_id,
-                    "name": t.task_type,
-                    "start_time": t.started_at,
-                    "est_completion": t.started_at + t.est_seconds,
-                    "data_locality": 0.0,
-                }
-                for t in self.tasks.values()
-            ]
-        return self.monitor.finish_cycle(span, snapshot, processes)
+        with self._mon_lock:
+            span = self.monitor.begin_cycle()
+            snapshot = self.engine.refresh()
+            with self._lock:
+                processes = [
+                    {
+                        "pid": t.task_id,
+                        "name": t.task_type,
+                        "start_time": t.started_at,
+                        "est_completion": t.started_at + t.est_seconds,
+                        "data_locality": 0.0,
+                    }
+                    for t in self.tasks.values()
+                ]
+            return self.monitor.finish_cycle(span, snapshot, processes)

@@ -15,6 +15,7 @@ from .messages import (
     MigrateCommand,
     ProtocolError,
     Register,
+    StatusQuery,
     StatusUpdate,
     Unregister,
     decode,
@@ -32,6 +33,7 @@ __all__ = [
     "MigrateCommand",
     "ProtocolError",
     "Register",
+    "StatusQuery",
     "StatusUpdate",
     "Unregister",
     "decode",

@@ -1,0 +1,40 @@
+"""Fixture: a threaded worker with one of every C700 defect."""
+
+import threading
+import time
+
+jobs = []  # C705: module-level mutable shared by the threads below
+
+
+def enqueue(item):
+    jobs.append(item)
+
+
+class Worker:
+    def __init__(self):
+        self.results = []  # public, later written lock-free: C701
+        self._shared = 0   # cross-context without a common lock: C701
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self._thread = threading.Thread(target=self._loop)
+        self._thread.start()
+        threading.Thread(target=self._drain).start()
+
+    def _loop(self):
+        while True:
+            self._shared += 1
+            self.results.append(self._shared)
+            with self._lock:
+                time.sleep(0.1)  # C702: blocking while holding _lock
+            with self._lock:
+                with self._aux:  # C704: _lock -> _aux here ...
+                    pass
+
+    def _drain(self):
+        value = self._shared
+        with self._aux:
+            with self._lock:  # C704: ... _aux -> _lock there
+                pass
+        self._lock.acquire()  # C703: an exception leaks the lock
+        self._shared = value
+        self._lock.release()

@@ -1,0 +1,11 @@
+"""Fixture live driver: pumps the shared core over a real transport."""
+
+from registry.core import Core
+
+
+class LiveDriver:
+    def __init__(self, transport):
+        self.core = Core(transport)
+
+    def pump(self, msg):
+        return self.core.handle(msg)

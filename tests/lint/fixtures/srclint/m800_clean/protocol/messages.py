@@ -1,0 +1,41 @@
+"""Fixture wire protocol with a complete, symmetric flow graph."""
+
+
+class Beat:
+    TYPE = "beat"
+
+    def body(self):
+        return "<beat/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class AskThing:
+    req_id: str = ""
+
+    TYPE = "thing-request"
+
+    def body(self):
+        return "<ask/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class ReplyThing:
+    req_id: str = ""
+
+    TYPE = "thing-reply"
+
+    def body(self):
+        return "<reply/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+MESSAGE_TYPES = {cls.TYPE: cls for cls in (Beat, AskThing, ReplyThing)}

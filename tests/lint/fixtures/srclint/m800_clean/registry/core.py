@@ -1,0 +1,29 @@
+"""Fixture shared core: one decision path for both runtimes.
+
+Mirrors the real architecture — the sim scope owns this module and
+the live driver imports it, so both sides handle the same message
+set by construction (no M804 can arise).
+"""
+
+from protocol.messages import AskThing, Beat, ReplyThing
+
+
+class Core:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def handle(self, msg):
+        if isinstance(msg, Beat):
+            return "beat"
+        if isinstance(msg, AskThing):
+            return self.answer(msg)
+        if isinstance(msg, ReplyThing):
+            return "resolved"
+        return None
+
+    def answer(self, msg: AskThing):
+        return ReplyThing()
+
+    def announce(self):
+        self.transport.send(Beat())
+        self.transport.send(AskThing())

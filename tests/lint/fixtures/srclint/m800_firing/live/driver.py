@@ -1,0 +1,18 @@
+"""Fixture live-side driver: never learned Beat -> M804."""
+
+from protocol.messages import AskThing, ReplyThing
+
+
+class LiveDriver:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def handle(self, msg):
+        if isinstance(msg, AskThing):
+            return "ask"
+        if isinstance(msg, ReplyThing):
+            return "reply"
+        return None
+
+    def ask(self):
+        self.transport.send(AskThing())

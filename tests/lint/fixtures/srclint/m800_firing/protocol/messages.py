@@ -1,0 +1,62 @@
+"""Fixture wire protocol whose flow graph has every M800 defect."""
+
+
+class Beat:
+    """Handled by the sim driver only -> M804 divergence."""
+
+    TYPE = "beat"
+
+    def body(self):
+        return "<beat/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class Lost:
+    """Emitted but handled nowhere -> M801."""
+
+    TYPE = "lost"
+
+    def body(self):
+        return "<lost/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class AskThing:
+    """A correlated request whose reply is never built -> M802."""
+
+    req_id: str = ""
+
+    TYPE = "thing-request"
+
+    def body(self):
+        return "<ask/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+class ReplyThing:
+    """Handled but never constructed -> M803."""
+
+    req_id: str = ""
+
+    TYPE = "thing-reply"
+
+    def body(self):
+        return "<reply/>"
+
+    @classmethod
+    def from_body(cls, host, elem):
+        return cls()
+
+
+MESSAGE_TYPES = {
+    cls.TYPE: cls for cls in (Beat, Lost, AskThing, ReplyThing)
+}

@@ -1,0 +1,21 @@
+"""Fixture sim-side driver: handles Beat, emits Lost."""
+
+from protocol.messages import AskThing, Beat, Lost, ReplyThing
+
+
+class SimDriver:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def handle(self, msg):
+        if isinstance(msg, Beat):
+            return "beat"
+        if isinstance(msg, AskThing):
+            return "ask"
+        if isinstance(msg, ReplyThing):
+            return "reply"
+        return None
+
+    def announce(self):
+        self.transport.send(Beat())
+        self.transport.send(Lost())

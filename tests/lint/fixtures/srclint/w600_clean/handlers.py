@@ -9,3 +9,9 @@ def handle(msg):
     if isinstance(msg, Goodbye):
         return "bye"
     return None
+
+
+def send_all(transport):
+    # Every handled type is also emitted somewhere (M803).
+    transport.send(Hello())
+    transport.send(Goodbye())

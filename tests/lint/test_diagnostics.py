@@ -8,6 +8,7 @@ from repro.lint import (
     Severity,
     exit_code,
     render_json,
+    render_sarif,
     render_text,
     sort_diagnostics,
     summarize,
@@ -78,3 +79,47 @@ def test_summarize_counts():
         _diag(severity=Severity.INFO), _diag(),
     ])
     assert counts == {"errors": 2, "warnings": 1, "infos": 1}
+
+
+# ----------------------------------------------------------------- SARIF
+def test_render_sarif_structure():
+    doc = json.loads(render_sarif([
+        _diag(),
+        _diag(code="C701", severity=Severity.WARNING, line=7),
+    ]))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+        "C701", "R001",
+    ]
+    assert len(run["results"]) == 2
+
+
+def test_render_sarif_levels_and_location():
+    doc = json.loads(render_sarif([
+        _diag(severity=Severity.ERROR),
+        _diag(code="D305", severity=Severity.WARNING),
+        _diag(code="T505", severity=Severity.INFO),
+    ]))
+    results = doc["runs"][0]["results"]
+    assert {r["ruleId"]: r["level"] for r in results} == {
+        "R001": "error", "D305": "warning", "T505": "note",
+    }
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "a.rules"
+    assert loc["region"]["startLine"] == 3
+
+
+def test_render_sarif_without_location():
+    doc = json.loads(render_sarif([
+        Diagnostic(code="L003", severity=Severity.WARNING, message="m"),
+    ]))
+    result = doc["runs"][0]["results"][0]
+    assert "locations" not in result
+
+
+def test_render_sarif_empty_run_is_valid():
+    doc = json.loads(render_sarif([]))
+    assert doc["runs"][0]["results"] == []
+    assert doc["runs"][0]["tool"]["driver"]["rules"] == []

@@ -17,7 +17,10 @@ def _codes(diags):
 
 
 def test_firing_fixture_raises_every_code():
-    diags = lint_paths([_fixture("w600_firing")])
+    # select=W: the same fixture legitimately trips M800 findings too
+    # (it handles messages nothing constructs); those have their own
+    # fixtures and tests.
+    diags = lint_paths([_fixture("w600_firing")], select=["W"])
     assert set(_codes(diags)) == {"W601", "W602", "W603", "W604"}
     unhandled = {d.obj for d in diags if d.code == "W604"}
     assert unhandled == {"Pong", "Data"}
