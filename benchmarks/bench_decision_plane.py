@@ -1,0 +1,249 @@
+"""Decision-plane microbenchmarks: columns versus the scalar oracle.
+
+Three ratios measure what vectorizing over the host-state matrix buys
+(docs/decision_plane.md):
+
+* **rule evals/sec** — the paper's five-rule set classifying every row
+  of a 4096-host matrix at once (``VectorRuleEvaluator`` over
+  ``matrix_column_engine``) versus the compiled-closure
+  ``RuleEvaluator`` looping host by host.  One vectorized
+  ``evaluate_host_states`` call counts as 4096 per-host evaluations.
+  The committed gate requires **≥10×**.
+* **destination picks/sec** — ``RegistryCore._pick_destination`` with
+  ``vector_mode="auto"`` (masked columns + argsort) versus
+  ``vector_mode="scalar"`` (per-record filters), same registry, same
+  policy, same answers.
+* **victim picks/sec** — the masked lexsort over 512 reported
+  processes versus the scalar ``max`` over materialized
+  ``ProcessInfo`` objects.
+
+``python benchmarks/bench_decision_plane.py`` regenerates the
+committed ``benchmarks/BENCH_rules.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.core.policy import policy_1
+from repro.entity.clock import ManualClock
+from repro.monitor.selector import (
+    ProcessInfo,
+    select_victim,
+    select_victim_from_dicts,
+)
+from repro.registry.core import RegistryCore
+from repro.registry.hostmatrix import matrix_column_engine
+from repro.rules import RuleEvaluator, VectorRuleEvaluator, paper_ruleset
+from repro.rules.states import SystemState
+from repro.sim.rng import seeded_generator
+
+from conftest import report
+
+HOSTS = 4096
+VECTOR_SWEEPS = 50
+SCALAR_HOST_EVALS = 4_096  # one scalar pass over the same host count
+PICKS = 300
+PROCESSES = 512
+VICTIM_PICKS = 200
+REPEATS = 3
+
+#: The four measurement columns the paper ruleset reads.
+RULE_METRICS = ("cpu_idle_pct", "socket_count", "loadavg1", "proc_count")
+_SCRIPT_TO_METRIC = {
+    "processorStatus.sh": "cpu_idle_pct",
+    "ntStatIpv4.sh": "socket_count",
+    "loadAvg.sh": "loadavg1",
+    "procCount.sh": "proc_count",
+}
+_RANGES = {
+    "cpu_idle_pct": (0.0, 100.0),
+    "socket_count": (0.0, 1200.0),
+    "loadavg1": (0.0, 4.0),
+    "proc_count": (0.0, 300.0),
+}
+
+
+def _populate(core: RegistryCore, n: int) -> list:
+    """Register n hosts with randomized (seeded) measurements; returns
+    the per-host metric dicts for the scalar loop."""
+    rng = seeded_generator(2026)
+    rows = []
+    for i in range(n):
+        host = f"ws{i:04d}"
+        metrics = {
+            name: float(rng.uniform(lo, hi))
+            for name, (lo, hi) in _RANGES.items()
+        }
+        metrics["mem_avail_bytes"] = float(rng.uniform(1e8, 8e9))
+        metrics["disk_avail_bytes"] = float(rng.uniform(1e9, 1e12))
+        core.table.register(host, {"cpu_speed": 2000.0})
+        core.table.update(host, SystemState(int(rng.integers(0, 3))),
+                          metrics)
+        rows.append(metrics)
+    return rows
+
+
+def _make_core(vector_mode: str) -> "tuple[RegistryCore, list]":
+    core = RegistryCore(
+        ManualClock(), "registry", policy=policy_1(),
+        rng=seeded_generator(7), vector_mode=vector_mode,
+    )
+    rows = _populate(core, HOSTS)
+    return core, rows
+
+
+# ---------------------------------------------------------------- rules
+def _run_rules_vector(core: RegistryCore) -> int:
+    evaluator = VectorRuleEvaluator(
+        paper_ruleset(), matrix_column_engine(core.table.matrix)
+    )
+    for _ in range(VECTOR_SWEEPS):
+        evaluator.evaluate_host_states()
+    return VECTOR_SWEEPS * core.table.matrix.n
+
+
+def _run_rules_scalar(rows: list) -> int:
+    """The PR 3 compiled-closure evaluator, one host at a time."""
+    current = {"metrics": rows[0]}
+
+    def engine(script, param=""):
+        return current["metrics"][_SCRIPT_TO_METRIC[script]]
+
+    evaluator = RuleEvaluator(paper_ruleset(), engine)
+    n = 0
+    while n < SCALAR_HOST_EVALS:
+        for metrics in rows:
+            current["metrics"] = metrics
+            evaluator.evaluate_host_state()
+            n += 1
+            if n >= SCALAR_HOST_EVALS:
+                break
+    return n
+
+
+# ------------------------------------------------------------ selection
+def _run_picks(core: RegistryCore) -> int:
+    exclude = ("ws0000", "ws0001")
+    for _ in range(PICKS):
+        core._pick_destination(exclude)
+    return PICKS
+
+
+def _process_dicts() -> list:
+    rng = seeded_generator(11)
+    return [
+        {
+            "pid": int(1000 + i),
+            "name": "app",
+            "start_time": float(rng.uniform(0, 100)),
+            "est_completion": float(rng.choice([200.0, 300.0, 300.0,
+                                                400.0])),
+            "data_locality": float(rng.uniform(0, 1)),
+        }
+        for i in range(PROCESSES)
+    ]
+
+
+def _run_victims_vector(processes: list) -> int:
+    for _ in range(VICTIM_PICKS):
+        select_victim_from_dicts(processes, max_data_locality=0.5)
+    return VICTIM_PICKS
+
+
+def _run_victims_scalar(processes: list) -> int:
+    for _ in range(VICTIM_PICKS):
+        select_victim(
+            (ProcessInfo.from_dict(p) for p in processes),
+            max_data_locality=0.5,
+        )
+    return VICTIM_PICKS
+
+
+# ------------------------------------------------------------ measuring
+def _rate(fn, *args) -> float:
+    """Best-of-REPEATS operations/second (min wall time wins)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        ops = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return ops / best
+
+
+def measure() -> dict:
+    vec_core, rows = _make_core("auto")
+    scalar_core, _ = _make_core("scalar")
+    rules_vec = _rate(_run_rules_vector, vec_core)
+    rules_scalar = _rate(_run_rules_scalar, rows)
+    picks_vec = _rate(_run_picks, vec_core)
+    picks_scalar = _rate(_run_picks, scalar_core)
+    processes = _process_dicts()
+    victims_vec = _rate(_run_victims_vector, processes)
+    victims_scalar = _rate(_run_victims_scalar, processes)
+    return {
+        "rules": {
+            "vector_evals_per_sec": round(rules_vec),
+            "scalar_evals_per_sec": round(rules_scalar),
+            "speedup": round(rules_vec / rules_scalar, 2),
+        },
+        "destination": {
+            "vector_picks_per_sec": round(picks_vec),
+            "scalar_picks_per_sec": round(picks_scalar),
+            "speedup": round(picks_vec / picks_scalar, 2),
+        },
+        "victim": {
+            "vector_picks_per_sec": round(victims_vec),
+            "scalar_picks_per_sec": round(victims_scalar),
+            "speedup": round(victims_vec / victims_scalar, 2),
+        },
+    }
+
+
+def test_decision_plane(benchmark, once):
+    r = once(measure)
+    report(benchmark, "Decision-plane microbenchmarks (4096 hosts)", [
+        ("rule evals/s (vector)", "≥10× scalar",
+         r["rules"]["vector_evals_per_sec"]),
+        ("rule evals/s (scalar)", "-",
+         r["rules"]["scalar_evals_per_sec"]),
+        ("rules speedup ×", ">=10", r["rules"]["speedup"]),
+        ("dest picks/s (vector)", "-",
+         r["destination"]["vector_picks_per_sec"]),
+        ("dest picks/s (scalar)", "-",
+         r["destination"]["scalar_picks_per_sec"]),
+        ("dest speedup ×", ">1.0", r["destination"]["speedup"]),
+        ("victim picks/s (vector)", "-",
+         r["victim"]["vector_picks_per_sec"]),
+        ("victim picks/s (scalar)", "-",
+         r["victim"]["scalar_picks_per_sec"]),
+        ("victim speedup ×", ">1.0", r["victim"]["speedup"]),
+    ])
+    assert r["rules"]["speedup"] >= 10.0
+    assert r["destination"]["speedup"] > 1.0
+    assert r["victim"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    baseline = {
+        "description": "Decision-plane baseline; regenerate with "
+                       "`python benchmarks/bench_decision_plane.py`.",
+        "python": sys.version.split()[0],
+        "workload": {
+            "hosts": HOSTS,
+            "vector_sweeps": VECTOR_SWEEPS,
+            "scalar_host_evals": SCALAR_HOST_EVALS,
+            "destination_picks": PICKS,
+            "victim_processes": PROCESSES,
+            "repeats_best_of": REPEATS,
+        },
+        "results": measure(),
+    }
+    path = os.path.join(os.path.dirname(__file__), "BENCH_rules.json")
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(baseline["results"], indent=2))

@@ -53,6 +53,10 @@ class ReschedulerConfig:
     #: Registration model (§3.2): "push" (the paper's soft-state
     #: choice) or "pull" (the registry queries on its own schedule).
     mode: str = "push"
+    #: Decision-plane mode: "auto" (vectorized over the host-state
+    #: matrix), "scalar" (record-list oracle), or "verify" (both, with
+    #: a raise on divergence) — see docs/decision_plane.md.
+    vector_mode: str = "auto"
 
 
 class Rescheduler:
@@ -106,6 +110,7 @@ class Rescheduler:
             parent_address=parent_address,
             mode=self.config.mode,
             poll_interval=self.config.interval,
+            vector_mode=self.config.vector_mode,
         )
         # The paper's first fit scans "the machine list": seed the
         # registry's table in deployment order so the scan order is the

@@ -53,6 +53,7 @@ class LiveRegistry:
         query_timeout: float = 5.0,
         max_data_locality: float = 0.5,
         rng: Any = None,
+        vector_mode: str = "auto",
     ):
         self.endpoint = LiveEndpoint(name, port=port)
         #: ``name@host:port`` — parents route delegated candidate
@@ -71,6 +72,7 @@ class LiveRegistry:
             query_timeout=query_timeout,
             # The overloaded node itself plays the commander role.
             commander_for=lambda source: source,
+            vector_mode=vector_mode,
         )
         self._pending_replies: dict = {}
         self._reply_lock = threading.Lock()

@@ -39,6 +39,31 @@ class TimeSeries:
         self._times_arr = None
         self._values_arr = None
 
+    def append_many(self, times, values) -> None:
+        """Bulk append of parallel time/value sequences.
+
+        One validation pass over arrays instead of a Python call per
+        sample — the shape the vectorized host plane produces, where a
+        whole column of per-host samples lands per kernel step.  Same
+        invariants as :meth:`append` (equal lengths, non-decreasing
+        timestamps, including against the existing tail); on a
+        validation error the series is left untouched.
+        """
+        t_arr = np.asarray(times, dtype=float)
+        v_arr = np.asarray(values, dtype=float)
+        if t_arr.shape != v_arr.shape or t_arr.ndim != 1:
+            raise ValueError("times and values must be equal-length 1-D")
+        if t_arr.size == 0:
+            return
+        if np.any(np.diff(t_arr) < 0) or (
+            self._times and t_arr[0] < self._times[-1]
+        ):
+            raise ValueError("timestamps must be non-decreasing")
+        self._times.extend(t_arr.tolist())
+        self._values.extend(v_arr.tolist())
+        self._times_arr = None
+        self._values_arr = None
+
     # -- views ------------------------------------------------------------
     @property
     def times(self) -> np.ndarray:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class ProcessInfo:
@@ -84,6 +86,39 @@ def select_victim(
         candidates,
         key=lambda p: (p.est_completion, -p.start_time, -p.pid),
     )
+
+
+def select_victim_from_dicts(
+    processes: List[dict],
+    max_data_locality: float = 1.0,
+) -> Optional[ProcessInfo]:
+    """Vectorized :func:`select_victim` straight off the wire dicts.
+
+    Builds columns instead of :class:`ProcessInfo` objects — only the
+    *chosen* victim is materialized — and picks the winner with one
+    masked lexsort.  The sort keys replicate the scalar ``max`` key
+    ``(est_completion, -start_time, -pid)`` exactly (latest completion;
+    ties to the earlier start, then the lower pid), so both paths
+    return the same victim on every input; the differential gate in
+    ``tests/registry/test_vector_differential.py`` asserts it,
+    duplicate keys included.
+    """
+    if not processes:
+        return None
+    locality = np.array(
+        [float(p.get("data_locality", 0.0)) for p in processes]
+    )
+    mask = locality <= max_data_locality
+    if not mask.any():
+        return None
+    rows = np.flatnonzero(mask)
+    est = np.array([float(processes[i]["est_completion"]) for i in rows])
+    start = np.array([float(processes[i]["start_time"]) for i in rows])
+    pid = np.array([int(processes[i]["pid"]) for i in rows])
+    # lexsort: last key is primary → est descending, then start
+    # ascending, then pid ascending; element 0 is the scalar max.
+    order = np.lexsort((pid, start, -est))
+    return ProcessInfo.from_dict(processes[rows[order[0]]])
 
 
 def collect_process_info(host) -> List[ProcessInfo]:

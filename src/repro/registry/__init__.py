@@ -1,5 +1,12 @@
 """Registry/scheduler: soft-state registration + migration decisions."""
 
+from .hostmatrix import (
+    METRIC_COLUMNS,
+    HostStateMatrix,
+    dest_mask,
+    matrix_column_engine,
+    requirements_mask,
+)
 from .registry import (
     DEFAULT_COMMAND_COOLDOWN,
     DEFAULT_DECISION_COST,
@@ -7,17 +14,29 @@ from .registry import (
     RegistryScheduler,
 )
 from .softstate import HostRecord, SoftStateTable
-from .strategies import STRATEGIES, best_fit, first_fit, random_fit
+from .strategies import (
+    STRATEGIES,
+    VECTOR_STRATEGIES,
+    best_fit,
+    first_fit,
+    random_fit,
+)
 
 __all__ = [
     "DEFAULT_COMMAND_COOLDOWN",
     "DEFAULT_DECISION_COST",
     "Decision",
     "HostRecord",
+    "HostStateMatrix",
+    "METRIC_COLUMNS",
     "RegistryScheduler",
     "STRATEGIES",
     "SoftStateTable",
+    "VECTOR_STRATEGIES",
     "best_fit",
+    "dest_mask",
     "first_fit",
+    "matrix_column_engine",
     "random_fit",
+    "requirements_mask",
 ]

@@ -26,7 +26,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..entity.outbox import Deliver, Effects, Query, Send, Spend, Task
-from ..monitor.selector import ProcessInfo, select_victim
+from ..monitor.selector import (
+    ProcessInfo,
+    select_victim,
+    select_victim_from_dicts,
+)
 from ..protocol.messages import (
     Ack,
     CandidateReply,
@@ -44,8 +48,9 @@ from ..trace.events import (
     EV_REGISTRY_REGISTER,
     EV_REGISTRY_UPDATE,
 )
+from .hostmatrix import dest_mask, exclude_rows, requirements_mask
 from .softstate import SoftStateTable
-from .strategies import first_fit
+from .strategies import VECTOR_STRATEGIES, first_fit
 
 #: CPU-seconds one scheduling decision costs; the paper measures the
 #: decision itself at ~0.002 s.
@@ -60,6 +65,13 @@ MAX_HOPS = 4
 
 #: Seconds a delegated candidate query waits for its reply.
 QUERY_TIMEOUT = 10.0
+
+#: Below this many reported processes, per-record victim selection is
+#: cheaper than building columns; both paths pick the same victim.
+VICTIM_VECTOR_MIN = 8
+
+#: Valid ``RegistryCore(vector_mode=...)`` settings.
+VECTOR_MODES = ("auto", "scalar", "verify")
 
 
 def _requirements_xml(req: Any) -> str:
@@ -125,7 +137,13 @@ class RegistryCore:
         max_data_locality: float = 0.5,
         query_timeout: float = QUERY_TIMEOUT,
         commander_for: Optional[Callable[[str], str]] = None,
+        vector_mode: str = "auto",
     ):
+        if vector_mode not in VECTOR_MODES:
+            raise ValueError(
+                f"vector_mode must be one of {VECTOR_MODES}, "
+                f"got {vector_mode!r}"
+            )
         self.clock = clock
         #: Name this registry registers under at its parent, and the
         #: marker by which parents recognize registry records ("@").
@@ -142,6 +160,12 @@ class RegistryCore:
         #: (sim: the ``commander@host`` endpoint; live: the node itself
         #: plays the commander, so the identity map is used).
         self.commander_for = commander_for or (lambda host: host)
+        #: Decision-plane mode: ``auto`` evaluates over the host-state
+        #: matrix when the strategy has a vectorized twin, ``scalar``
+        #: forces the record-list oracle path, ``verify`` runs both and
+        #: raises on any disagreement (the runtime differential gate —
+        #: see docs/decision_plane.md).
+        self.vector_mode = vector_mode
         self.decisions: List[Decision] = []
         self._last_command: Dict[str, float] = {}
         self._deciding: set = set()
@@ -198,10 +222,7 @@ class RegistryCore:
             return
         if source in self._deciding:
             return  # a decision for this host is already in flight
-        victim = select_victim(
-            (ProcessInfo.from_dict(p) for p in update.processes),
-            max_data_locality=self.max_data_locality,
-        )
+        victim = self._select_victim(update.processes)
         if victim is None:
             return
         self._deciding.add(source)
@@ -258,10 +279,72 @@ class RegistryCore:
             ),
         )
 
+    def _select_victim(self, processes: List[dict]):
+        """Latest-completion victim, via the column path for big
+        process lists and the scalar path otherwise (identical picks)."""
+        mode = self.vector_mode
+        use_vector = (mode != "scalar"
+                      and len(processes) >= VICTIM_VECTOR_MIN)
+        if use_vector:
+            victim = select_victim_from_dicts(
+                processes, max_data_locality=self.max_data_locality
+            )
+            if mode == "verify":
+                oracle = self._select_victim_scalar(processes)
+                if victim != oracle:
+                    raise AssertionError(
+                        f"vector victim {victim!r} != scalar "
+                        f"victim {oracle!r}"
+                    )
+            return victim
+        return self._select_victim_scalar(processes)
+
+    def _select_victim_scalar(self, processes: List[dict]):
+        return select_victim(
+            (ProcessInfo.from_dict(p) for p in processes),
+            max_data_locality=self.max_data_locality,
+        )
+
     def _pick_destination(self, exclude: tuple,
                           requirements: Any = None) -> Optional[str]:
         """First fit (or configured strategy) over eligible FREE hosts
-        that own all the resources required (paper §3.2)."""
+        that own all the resources required (paper §3.2).
+
+        The eligibility filters run as boolean columns over the
+        soft-state registry's host-state matrix and the strategy as a
+        masked argsort; strategies without a vectorized twin — and
+        ``vector_mode="scalar"`` — take the record-list oracle path.
+        """
+        mode = self.vector_mode
+        vector = (None if mode == "scalar"
+                  else VECTOR_STRATEGIES.get(self.strategy))
+        if vector is None:
+            return self._pick_destination_scalar(exclude, requirements)
+        if mode == "verify":
+            # Rewind the rng between runs so a draw-consuming strategy
+            # (random_fit) sees the same stream on both paths.
+            rng = self.rng
+            state = (rng.bit_generator.state
+                     if rng is not None
+                     and hasattr(rng, "bit_generator") else None)
+            dest = self._pick_destination_vector(exclude, requirements,
+                                                 vector)
+            if state is not None:
+                rng.bit_generator.state = state
+            oracle = self._pick_destination_scalar(exclude, requirements)
+            if dest != oracle:
+                raise AssertionError(
+                    f"vector destination {dest!r} != scalar "
+                    f"destination {oracle!r}"
+                )
+            return dest
+        return self._pick_destination_vector(exclude, requirements,
+                                             vector)
+
+    def _pick_destination_scalar(self, exclude: tuple,
+                                 requirements: Any = None
+                                 ) -> Optional[str]:
+        """The oracle path: per-record Python filters + strategy."""
         eligible = [
             rec for rec in self.table.free_hosts()
             if rec.host not in exclude
@@ -270,6 +353,21 @@ class RegistryCore:
         ]
         chosen = self.strategy(eligible, rng=self.rng)
         return chosen.host if chosen is not None else None
+
+    def _pick_destination_vector(self, exclude: tuple,
+                                 requirements: Any,
+                                 vector: Callable) -> Optional[str]:
+        """Masked column selection over the host-state matrix."""
+        table = self.table
+        matrix = table.matrix
+        mask = table.free_mask()
+        exclude_rows(matrix, mask, exclude)
+        if mask.any():
+            mask &= dest_mask(matrix, self.policy)
+        if mask.any():
+            mask &= requirements_mask(matrix, requirements)
+        row = vector(matrix, mask, rng=self.rng)
+        return matrix.host_at(row) if row is not None else None
 
     @staticmethod
     def _meets_requirements(record, req: Any) -> bool:

@@ -56,6 +56,7 @@ class RegistryScheduler:
         mode: str = "push",
         poll_interval: float = 10.0,
         max_data_locality: float = 0.5,
+        vector_mode: str = "auto",
     ):
         if mode not in ("push", "pull"):
             raise ValueError(f"mode must be push or pull, got {mode!r}")
@@ -77,6 +78,7 @@ class RegistryScheduler:
             parent_address=parent_address,
             max_data_locality=max_data_locality,
             commander_for=lambda source: f"commander@{source}",
+            vector_mode=vector_mode,
         )
         self._pending_replies: dict = {}
         self._stopped = False

@@ -14,9 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from ..rules.states import SystemState
 from ..trace import get_tracer
 from ..trace.events import EV_REGISTRY_EXPIRE
+from .hostmatrix import HostStateMatrix
 
 
 @dataclass
@@ -49,6 +52,9 @@ class SoftStateTable:
         #: the per-query cost is O(1) per record scanned — no list
         #: rebuild from name lookups on every ``records()`` call.
         self._record_list: List[HostRecord] = []
+        #: Columnar mirror of the table — row *i* is record *i* — for
+        #: the vectorized decision plane (docs/decision_plane.md).
+        self.matrix = HostStateMatrix()
 
     # -- mutation ---------------------------------------------------------
     def register(self, host: str, static_info: dict) -> HostRecord:
@@ -63,10 +69,12 @@ class SoftStateTable:
             )
             self._records[host] = record
             self._record_list.append(record)
+            self.matrix.add_row(host, record.static_info, self.env.now)
         else:
             record.static_info = dict(static_info)
             record.last_update = self.env.now
             record.expiry_traced = False
+            self.matrix.set_static(host, record.static_info, self.env.now)
         return record
 
     def update(
@@ -86,12 +94,14 @@ class SoftStateTable:
         record.last_update = self.env.now
         record.updates_received += 1
         record.expiry_traced = False
+        self.matrix.set_status(host, state, record.metrics, self.env.now)
         return record
 
     def unregister(self, host: str) -> None:
         record = self._records.pop(host, None)
         if record is not None:
             self._record_list.remove(record)
+            self.matrix.remove(host)
 
     # -- queries --------------------------------------------------------
     def effective_state(self, record: HostRecord) -> SystemState:
@@ -142,6 +152,33 @@ class SoftStateTable:
             if (r.state is free if r.last_update >= cutoff
                 else self.effective_state(r) is free)
         ]
+
+    # -- vectorized queries (the decision plane's masks) ----------------
+    def _state_mask(self, wanted: SystemState, invert: bool) -> np.ndarray:
+        """Boolean row mask with the scalar paths' exact lease
+        semantics: fresh rows compare their pushed state directly;
+        stale rows take the per-record :meth:`effective_state` path,
+        which owns the once-per-lapse expiry trace event — so a masked
+        query and a scalar scan emit byte-identical traces."""
+        m = self.matrix
+        cutoff = self.env.now - self.lease
+        codes = m.state_codes
+        mask = (codes != int(wanted)) if invert else (codes == int(wanted))
+        stale = m.last_update < cutoff
+        if stale.any():
+            for i in np.flatnonzero(stale):
+                state = self.effective_state(self._record_list[i])
+                mask[i] = (state is not wanted) if invert else (
+                    state is wanted)
+        return mask
+
+    def free_mask(self) -> np.ndarray:
+        """``free_hosts()`` as a boolean row mask over :attr:`matrix`."""
+        return self._state_mask(SystemState.FREE, invert=False)
+
+    def available_mask(self) -> np.ndarray:
+        """``available()`` as a boolean row mask over :attr:`matrix`."""
+        return self._state_mask(SystemState.UNAVAILABLE, invert=True)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
+import numpy as np
+
+from .hostmatrix import HostStateMatrix
 from .softstate import HostRecord
 
 
@@ -44,4 +47,56 @@ STRATEGIES = {
     "first_fit": first_fit,
     "best_fit": best_fit,
     "random_fit": random_fit,
+}
+
+
+# ------------------------------------------------- vectorized variants
+# Each takes the host-state matrix plus the eligibility mask the
+# registry core built (free ∧ not-excluded ∧ policy destination
+# conditions ∧ victim requirements) and returns the chosen *row* or
+# ``None``.  Row order is registration order, so every variant agrees
+# with its scalar twin above — the differential gate in
+# tests/registry/test_vector_differential.py holds that line.
+
+def vector_first_fit(matrix: HostStateMatrix, mask: np.ndarray,
+                     rng: Any = None) -> Optional[int]:
+    """First eligible row in registration order (one ``argmax``)."""
+    if mask.size == 0:
+        return None
+    row = int(mask.argmax())
+    return row if mask[row] else None
+
+
+def vector_best_fit(matrix: HostStateMatrix, mask: np.ndarray,
+                    rng: Any = None) -> Optional[int]:
+    """Least-loaded eligible row; ties break on host name, exactly the
+    scalar ``min(..., key=(loadavg1, host))`` order."""
+    rows = np.flatnonzero(mask)
+    if rows.size == 0:
+        return None
+    load = matrix.metric_column("loadavg1")[rows]
+    # The scalar path reads a missing loadavg1 as 0.0.
+    load = np.where(np.isnan(load), 0.0, load)
+    order = np.lexsort((matrix.hosts_array[rows], load))
+    return int(rows[order[0]])
+
+
+def vector_random_fit(matrix: HostStateMatrix, mask: np.ndarray,
+                      rng: Any = None) -> Optional[int]:
+    """Uniformly random eligible row — one rng draw over the same
+    candidate ordering as the scalar form, so seeded runs agree."""
+    rows = np.flatnonzero(mask)
+    if rows.size == 0:
+        return None
+    if rng is None:
+        raise ValueError("random_fit requires an rng")
+    return int(rows[int(rng.integers(0, rows.size))])
+
+
+#: Scalar strategy → vectorized twin; strategies outside this map fall
+#: back to the scalar record-list path in ``RegistryCore``.
+VECTOR_STRATEGIES = {
+    first_fit: vector_first_fit,
+    best_fit: vector_best_fit,
+    random_fit: vector_random_fit,
 }

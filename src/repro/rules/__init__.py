@@ -16,6 +16,7 @@ from .builtin import (
 )
 from .evaluator import RuleEvaluator, ScriptNotFound, classify
 from .expr import ExprError, parse_expression
+from .vector import VectorRuleEvaluator, classify_column
 from .model import ComplexRule, RuleSet, SimpleRule
 from .parser import (
     RuleParseError,
@@ -41,7 +42,9 @@ __all__ = [
     "ScriptNotFound",
     "SimpleRule",
     "SystemState",
+    "VectorRuleEvaluator",
     "classify",
+    "classify_column",
     "combine_and",
     "combine_or",
     "dump_rule",

@@ -25,6 +25,8 @@ import re
 from dataclasses import dataclass
 from typing import Callable, List, Tuple, Union
 
+import numpy as np
+
 from .states import SystemState, combine_and, combine_or
 
 
@@ -242,6 +244,98 @@ def compile_expression(
         elif rounded > top:
             rounded = top
         return SystemState.from_level(rounded, n_levels=n_levels)
+
+    return evaluate_compiled
+
+
+# ---------------------------------------------------- vector compiler
+def round_levels(levels: np.ndarray, n_levels: int = 3) -> np.ndarray:
+    """Vector twin of the scalar ``int(level + 0.5)`` clamp: severity
+    levels → int8 state codes, elementwise.  Levels are non-negative
+    (weights and states are), so truncation and floor agree."""
+    codes = np.floor(levels + 0.5)
+    return np.clip(codes, 0, n_levels - 1).astype(np.int8)
+
+
+def states_from_levels(levels: np.ndarray,
+                       n_levels: int = 3) -> np.ndarray:
+    """Vector twin of :meth:`SystemState.from_level`, elementwise:
+    severity levels → named int8 state codes via the same thirds
+    split (identity when ``n_levels == 3``)."""
+    scaled = np.clip(levels, 0, n_levels - 1) / (n_levels - 1)
+    return np.where(
+        scaled < 1 / 3, np.int8(0),
+        np.where(scaled < 2 / 3, np.int8(1), np.int8(2)),
+    ).astype(np.int8)
+
+
+def compile_node_vector(
+    node: Node,
+) -> Callable[[Callable[[int], np.ndarray]], np.ndarray]:
+    """Compile an AST into ``fn(resolve) -> level column``.
+
+    The column twin of :func:`compile_node`: ``resolve(number)`` now
+    returns a float array of severity levels — one element per host —
+    and every AST node becomes a numpy column operation (weighted sums
+    → scaled adds, ``&``/``|`` → elementwise min/max over rounded
+    states).  One call classifies the whole host-state matrix; the
+    scalar path stays the oracle (docs/decision_plane.md).
+    """
+    if isinstance(node, RuleRef):
+        number = node.number
+
+        def run_ref(resolve: Callable[[int], np.ndarray]) -> np.ndarray:
+            return resolve(number)
+
+        return run_ref
+    if isinstance(node, WeightedSum):
+        compiled = tuple((w, compile_node_vector(child))
+                         for w, child in node.terms)
+
+        def run_sum(resolve: Callable[[int], np.ndarray]) -> np.ndarray:
+            (weight, child), rest = compiled[0], compiled[1:]
+            total = weight * child(resolve)
+            for weight, child in rest:
+                total += weight * child(resolve)
+            return total
+
+        return run_sum
+    if isinstance(node, Combine):
+        left = compile_node_vector(node.left)
+        right = compile_node_vector(node.right)
+        # ``&`` = both must agree to escalate (min severity); ``|`` =
+        # either may escalate (max) — see states.combine_and/_or.
+        combine = np.minimum if node.op == "&" else np.maximum
+
+        def run_combine(
+            resolve: Callable[[int], np.ndarray]
+        ) -> np.ndarray:
+            a = round_levels(left(resolve))
+            b = round_levels(right(resolve))
+            return combine(a, b).astype(np.float64)
+
+        return run_combine
+    raise TypeError(f"unknown node {node!r}")  # pragma: no cover
+
+
+def compile_expression_vector(
+    text: str, n_levels: int = 3
+) -> Callable[[Callable[[int], np.ndarray]], np.ndarray]:
+    """Parse + compile ``text`` into ``fn(resolve) -> state codes``.
+
+    Column twin of :func:`compile_expression`: the final rounding and
+    the named-state mapping are folded in, returning int8 state codes
+    for every host at once.
+    """
+    run = compile_node_vector(parse_expression(text))
+
+    def evaluate_compiled(
+        resolve: Callable[[int], np.ndarray]
+    ) -> np.ndarray:
+        return states_from_levels(
+            round_levels(run(resolve), n_levels=n_levels),
+            n_levels=n_levels,
+        )
 
     return evaluate_compiled
 

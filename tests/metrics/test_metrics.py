@@ -154,3 +154,42 @@ def test_ascii_plot_constant_series():
     ts = make_series([(0, 1.0), (10, 1.0)])
     art = ascii_plot([ts])  # must not divide by zero
     assert "*" in art
+
+
+def test_append_many_matches_scalar_appends():
+    bulk = TimeSeries()
+    bulk.append(0, 1.0)
+    bulk.append_many([10, 20, 20, 30], [2.0, 3.0, 4.0, 5.0])
+    scalar = make_series([(0, 1.0), (10, 2.0), (20, 3.0), (20, 4.0),
+                          (30, 5.0)])
+    assert bulk.points() == scalar.points()
+    assert list(bulk.times) == list(scalar.times)
+
+
+def test_append_many_empty_is_noop():
+    ts = make_series([(0, 1.0)])
+    cached = ts.times
+    ts.append_many([], [])
+    assert ts.points() == [(0.0, 1.0)]
+    assert ts.times is cached  # no invalidation on a no-op
+
+
+def test_append_many_invalidates_cached_views():
+    ts = make_series([(0, 1.0)])
+    cached = ts.times
+    ts.append_many([5], [2.0])
+    assert ts.times is not cached
+    assert list(ts.values) == [1.0, 2.0]
+
+
+def test_append_many_validation_leaves_series_untouched():
+    ts = make_series([(10, 1.0)])
+    with pytest.raises(ValueError):
+        ts.append_many([20, 15], [1.0, 2.0])  # internal regression
+    with pytest.raises(ValueError):
+        ts.append_many([5, 25], [1.0, 2.0])  # behind the tail
+    with pytest.raises(ValueError):
+        ts.append_many([20, 30], [1.0])  # length mismatch
+    with pytest.raises(ValueError):
+        ts.append_many([[20]], [[1.0]])  # not 1-D
+    assert ts.points() == [(10.0, 1.0)]

@@ -1,0 +1,184 @@
+"""The runtime differential gate: vectorized decisions ≡ scalar oracle.
+
+Randomized registries — duplicated load values, expired leases,
+exclusions, resource requirements, policy conditions — are pushed
+through both decision paths; any divergence is a bug in the column
+compiler, never a tolerance.  Tie-breaking gets dedicated property
+tests because stable-sort edge cases (equal est_completion, equal
+loadavg1) are exactly where a lexsort and a Python ``max``/``min``
+could silently part ways.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import PAPER_POLICIES
+from repro.entity.clock import ManualClock
+from repro.monitor.selector import (
+    ProcessInfo,
+    select_victim,
+    select_victim_from_dicts,
+)
+from repro.registry.core import RegistryCore
+from repro.registry.strategies import best_fit, first_fit, random_fit
+from repro.rules.states import SystemState
+from repro.schema import ResourceRequirements
+from repro.sim.rng import seeded_generator
+
+LEASE = 35.0
+
+
+def random_core(seed, strategy, policy=None, vector_mode="auto"):
+    """A RegistryCore over a randomized soft-state registry."""
+    rng = seeded_generator(seed)
+    core = RegistryCore(
+        ManualClock(), "registry", lease=LEASE, policy=policy,
+        strategy=strategy, rng=seeded_generator(seed + 1),
+        vector_mode=vector_mode,
+    )
+    n = int(rng.integers(2, 25))
+    # A small value pool forces duplicated loads/metrics (tie cases).
+    pool = [0.0, 0.5, 0.5, 1.0, 2.0, 4.0]
+    for i in range(n):
+        host = f"ws{i:02d}"
+        static = {}
+        if rng.random() < 0.5:
+            static["cpu_speed"] = float(rng.choice([800.0, 2000.0]))
+        if rng.random() < 0.4:
+            static["features"] = str(
+                rng.choice(["", "gpu", "gpu,ib", "fpu"]))
+        core.table.register(host, static)
+        metrics = {}
+        for name in ("loadavg1", "proc_count", "comm_mbs",
+                     "mem_avail_bytes", "disk_avail_bytes"):
+            if rng.random() < 0.8:  # gaps exercise NaN semantics
+                metrics[name] = float(rng.choice(pool)) * (
+                    1e9 if name.endswith("bytes") else 1.0)
+        state = SystemState(int(rng.integers(0, 3)))
+        core.table.update(host, state, metrics)
+    # Age some leases past expiry, in a way the table allows
+    # (clock moves forward; some hosts never push again).
+    core.clock.set(LEASE * 0.9)
+    for i in range(n):
+        if rng.random() < 0.6:
+            core.table.update(f"ws{i:02d}", SystemState.FREE,
+                              {"loadavg1": float(rng.choice(pool))})
+    core.clock.set(LEASE * 1.2)  # non-refreshed pushes now stale
+    return core, rng
+
+
+def random_requirements(rng):
+    if rng.random() < 0.4:
+        return None
+    return ResourceRequirements(
+        min_memory_bytes=int(rng.choice([0, int(1e9)])),
+        min_disk_bytes=int(rng.choice([0, int(1e9)])),
+        min_cpu_speed=float(rng.choice([0.0, 1000.0])),
+        features=[(), ("gpu",), ("gpu", "ib")][int(rng.integers(0, 3))],
+    )
+
+
+@pytest.mark.parametrize("strategy", [first_fit, best_fit, random_fit],
+                         ids=lambda s: s.__name__)
+@pytest.mark.parametrize("policy_no", [None, 1, 2, 3])
+def test_destination_differential(strategy, policy_no):
+    """Vector and scalar destination picks agree on 40 random
+    registries per strategy/policy combination."""
+    base = (policy_no or 0) * 1000 + hash(strategy.__name__) % 997
+    for trial in range(40):
+        policy = PAPER_POLICIES[policy_no]() if policy_no else None
+        core, rng = random_core(base + trial, strategy, policy=policy)
+        exclude = tuple(
+            f"ws{int(i):02d}"
+            for i in rng.integers(0, 20, size=int(rng.integers(0, 3)))
+        )
+        req = random_requirements(rng)
+        # random_fit draws from the rng: rewind between paths so both
+        # see the same stream (what verify mode does internally).
+        state = core.rng.bit_generator.state
+        vec = core._pick_destination(exclude, req)
+        core.rng.bit_generator.state = state
+        core.vector_mode = "scalar"
+        scalar = core._pick_destination(exclude, req)
+        assert vec == scalar, (
+            f"trial {trial}: vector={vec!r} scalar={scalar!r}"
+        )
+
+
+def test_verify_mode_runs_both_paths_clean():
+    for strategy in (first_fit, best_fit, random_fit):
+        core, rng = random_core(7, strategy, policy=PAPER_POLICIES[1](),
+                                vector_mode="verify")
+        for _ in range(10):
+            core._pick_destination((), random_requirements(rng))
+
+
+def test_verify_mode_raises_on_divergence():
+    core, _ = random_core(11, first_fit, vector_mode="verify")
+    # Sabotage the matrix mirror so the paths must disagree.
+    core.table.matrix._state[:] = int(SystemState.OVERLOADED)
+    core.table.matrix._last_update[:] = core.clock.now
+    with pytest.raises(AssertionError):
+        core._pick_destination(())
+
+
+def test_invalid_vector_mode_rejected():
+    with pytest.raises(ValueError):
+        RegistryCore(ManualClock(), "registry", vector_mode="fast")
+
+
+# -- victim selection: the lexsort ≡ max-key property -------------------
+
+_proc = st.fixed_dictionaries({
+    "name": st.just("app"),
+    "pid": st.integers(1, 6),  # tiny ranges force duplicate keys
+    "est_completion": st.sampled_from([10.0, 20.0, 20.0, 30.0]),
+    "start_time": st.sampled_from([0.0, 1.0, 1.0, 2.0]),
+    "data_locality": st.sampled_from([0.0, 0.3, 0.6, 1.0]),
+})
+
+
+@given(st.lists(_proc, max_size=24),
+       st.sampled_from([0.0, 0.3, 0.5, 1.0]))
+@settings(max_examples=200, deadline=None)
+def test_victim_lexsort_matches_scalar_max(processes, max_locality):
+    scalar = select_victim(
+        (ProcessInfo.from_dict(p) for p in processes),
+        max_data_locality=max_locality,
+    )
+    vector = select_victim_from_dicts(
+        processes, max_data_locality=max_locality
+    )
+    assert vector == scalar
+
+
+def test_core_victim_vector_threshold():
+    """Below VICTIM_VECTOR_MIN the scalar path runs; both agree
+    regardless, including in verify mode."""
+    rng = seeded_generator(3)
+    for n in (0, 3, 8, 40):
+        processes = [
+            {"name": "app", "pid": int(rng.integers(1, 5)),
+             "est_completion": float(rng.choice([10.0, 20.0])),
+             "start_time": float(rng.choice([0.0, 1.0])),
+             "data_locality": float(rng.choice([0.0, 0.9]))}
+            for _ in range(n)
+        ]
+        for mode in ("auto", "scalar", "verify"):
+            core = RegistryCore(ManualClock(), "registry",
+                                vector_mode=mode)
+            assert core._select_victim(processes) == \
+                core._select_victim_scalar(processes)
+
+
+# -- first-fit order is the registration order ---------------------------
+
+def test_first_fit_vector_respects_machine_list_order():
+    """The paper's first fit scans the machine list in registration
+    order; argmax over the row mask must preserve that."""
+    core = RegistryCore(ManualClock(), "registry", strategy=first_fit)
+    for name in ("late", "alpha", "zulu"):
+        core.table.register(name, {})
+        core.table.update(name, SystemState.FREE, {})
+    assert core._pick_destination(()) == "late"
+    assert core._pick_destination(("late",)) == "alpha"
