@@ -1,0 +1,183 @@
+"""Host-plane benchmark: batched sensor updates versus per-host scalar.
+
+A fig5-style scenario — two instrumented workstations carrying the
+paper's baseline duty/chatter workload, surrounded by background hosts,
+with the full rescheduler (policy 2, 10 s monitoring) deployed — run
+two ways:
+
+* **batched** — the surrounding hosts are analytic rows of the
+  :mod:`repro.cluster.plane`: one vectorized load-average fold per
+  5 s tick for the whole cluster and one
+  :class:`~repro.monitor.hub.MonitorHub` pumping every pure
+  ``MonitorCore`` off column snapshots, batch-pushed into the
+  registry's soft-state table.  4096 hosts in the committed baseline.
+* **scalar** — the pre-plane model (``host_plane="scalar"``): every
+  host runs its own load-average sampler, duty-cycle generator and
+  monitor process, and every status update is an XML message.  256
+  hosts (the scalar path is exactly what caps sweep sizes — running
+  it at 4096 would take most of an hour).
+
+The unit of throughput is **host-updates/sec**: one load-average fold
+of one host, plus one completed monitoring cycle of one host, divided
+by wall time.  Both runs use the same per-host workload distribution
+and the same rescheduler configuration, so the rate is comparable
+across host counts.  The committed gate requires the batched plane to
+deliver **≥10×** the scalar rate.
+
+``python benchmarks/bench_cluster_plane.py`` regenerates the committed
+``benchmarks/BENCH_cluster.json`` baseline at full (4096-host) scale;
+the pytest smoke (CI) runs the same scenario at reduced scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.cluster import ChatterLoad, Cluster, DutyCycleLoad
+from repro.core.policy import policy_2
+from repro.core.rescheduler import Rescheduler, ReschedulerConfig
+
+from conftest import report
+
+#: Committed-baseline scale (the ``__main__`` run).
+FULL_BATCHED_HOSTS = 4096
+FULL_SCALAR_HOSTS = 256
+FULL_SIM_SECONDS = 300.0
+
+#: CI smoke scale (the pytest run).
+SMOKE_BATCHED_HOSTS = 1024
+SMOKE_SCALAR_HOSTS = 128
+SMOKE_SIM_SECONDS = 200.0
+
+SEED = 3
+LOADAVG_TICK = 5.0
+
+
+def _instrumented_pair(cluster: Cluster) -> None:
+    """The fig5 baseline workload on the two backed workstations."""
+    ws1, ws2 = cluster["ws1"], cluster["ws2"]
+    DutyCycleLoad(ws1, mean_load=0.25, period=0.5, jitter=0.5,
+                  rng=cluster.rng.stream("duty-ws1"), name="daemons")
+    DutyCycleLoad(ws2, mean_load=0.25, period=0.5, jitter=0.5,
+                  rng=cluster.rng.stream("duty-ws2"), name="daemons")
+    ChatterLoad(ws1, ws2, bytes_out=2000, bytes_back=2060,
+                interval=0.335, name="nfs")
+
+
+def _background_params(rng) -> dict:
+    return {
+        "mean_load": 0.05 + 0.5 * float(rng.random()),
+        "period": 2.0,
+        "phase": 2.0 * float(rng.random()),
+    }
+
+
+def run_batched(hosts: int, sim_seconds: float) -> dict:
+    """Analytic plane rows + monitor hub; returns updates and wall."""
+    cluster = Cluster(n_hosts=2, seed=SEED)
+    _instrumented_pair(cluster)
+    rng = cluster.rng.stream("bench-loads")
+    for i in range(3, hosts + 1):
+        cluster.add_analytic_host(f"ws{i}", **_background_params(rng))
+    r = Rescheduler(cluster, policy=policy_2(),
+                    config=ReschedulerConfig(), registry_host="ws1")
+    start = time.perf_counter()
+    cluster.run(until=sim_seconds)
+    wall = time.perf_counter() - start
+    updates = cluster.plane.folds
+    updates += r.hub.core_cycles if r.hub is not None else 0
+    updates += sum(m.cycles for m in r.monitors.values())
+    return {"hosts": hosts, "updates": updates, "wall_s": wall}
+
+
+def run_scalar(hosts: int, sim_seconds: float) -> dict:
+    """The per-host oracle: one process per host per sensor family."""
+    cluster = Cluster(n_hosts=hosts, seed=SEED, host_plane="scalar")
+    _instrumented_pair(cluster)
+    rng = cluster.rng.stream("bench-loads")
+    for i in range(3, hosts + 1):
+        params = _background_params(rng)
+        DutyCycleLoad(cluster[f"ws{i}"], mean_load=params["mean_load"],
+                      period=params["period"], jitter=0.5,
+                      rng=cluster.rng.stream(f"duty-ws{i}"),
+                      name="daemons")
+    r = Rescheduler(cluster, policy=policy_2(),
+                    config=ReschedulerConfig(), registry_host="ws1")
+    start = time.perf_counter()
+    cluster.run(until=sim_seconds)
+    wall = time.perf_counter() - start
+    updates = hosts * int(sim_seconds // LOADAVG_TICK)
+    updates += sum(m.cycles for m in r.monitors.values())
+    return {"hosts": hosts, "updates": updates, "wall_s": wall}
+
+
+def measure(batched_hosts: int, scalar_hosts: int,
+            sim_seconds: float) -> dict:
+    batched = run_batched(batched_hosts, sim_seconds)
+    scalar = run_scalar(scalar_hosts, sim_seconds)
+    batched_rate = batched["updates"] / batched["wall_s"]
+    scalar_rate = scalar["updates"] / scalar["wall_s"]
+    return {
+        "batched": {
+            "hosts": batched["hosts"],
+            "sim_seconds": sim_seconds,
+            "host_updates": batched["updates"],
+            "wall_s": round(batched["wall_s"], 3),
+            "updates_per_sec": round(batched_rate),
+        },
+        "scalar": {
+            "hosts": scalar["hosts"],
+            "sim_seconds": sim_seconds,
+            "host_updates": scalar["updates"],
+            "wall_s": round(scalar["wall_s"], 3),
+            "updates_per_sec": round(scalar_rate),
+        },
+        "speedup": round(batched_rate / scalar_rate, 2),
+    }
+
+
+def test_cluster_plane(benchmark, once):
+    r = once(measure, SMOKE_BATCHED_HOSTS, SMOKE_SCALAR_HOSTS,
+             SMOKE_SIM_SECONDS)
+    report(
+        benchmark,
+        f"Host-plane throughput ({SMOKE_BATCHED_HOSTS} batched vs "
+        f"{SMOKE_SCALAR_HOSTS} scalar hosts)",
+        [
+            ("batched host-updates/s", "≥10× scalar",
+             r["batched"]["updates_per_sec"]),
+            ("scalar host-updates/s", "-",
+             r["scalar"]["updates_per_sec"]),
+            ("batched wall s", "-", r["batched"]["wall_s"]),
+            ("scalar wall s", "-", r["scalar"]["wall_s"]),
+            ("speedup ×", ">=10", r["speedup"]),
+        ],
+    )
+    assert r["speedup"] >= 10.0
+
+
+if __name__ == "__main__":
+    results = measure(FULL_BATCHED_HOSTS, FULL_SCALAR_HOSTS,
+                      FULL_SIM_SECONDS)
+    baseline = {
+        "description": "Host-plane baseline; regenerate with "
+                       "`python benchmarks/bench_cluster_plane.py`.",
+        "python": sys.version.split()[0],
+        "workload": {
+            "batched_hosts": FULL_BATCHED_HOSTS,
+            "scalar_hosts": FULL_SCALAR_HOSTS,
+            "sim_seconds": FULL_SIM_SECONDS,
+            "loadavg_tick_s": LOADAVG_TICK,
+            "monitor_interval_s": 10.0,
+            "policy": "policy_2",
+        },
+        "results": results,
+    }
+    path = os.path.join(os.path.dirname(__file__), "BENCH_cluster.json")
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(results, indent=2))

@@ -118,15 +118,36 @@ def _build_baseline(cluster: Cluster) -> None:
                 interval=0.335, name="nfs")
 
 
+def _add_analytic_hosts(cluster: Cluster, hosts: int) -> None:
+    """Grow the cluster to ``hosts`` rows with analytic plane hosts.
+
+    ws3..wsN carry deterministic, varied duty-cycle loads modelled in
+    closed form by the batched host plane — thousands of them cost one
+    vectorized fold per tick, so fig5-style cells scale to mega-cluster
+    host counts without changing the two instrumented workstations.
+    """
+    rng = cluster.rng.stream("analytic-hosts")
+    for i in range(3, hosts + 1):
+        cluster.add_analytic_host(
+            f"ws{i}",
+            mean_load=0.05 + 0.5 * float(rng.random()),
+            period=2.0,
+            phase=2.0 * float(rng.random()),
+        )
+
+
 def _run_once(
     with_rescheduler: bool,
     duration: float,
     seed: int,
     interval: float,
     cycle_cost: Optional[float],
+    hosts: int = 2,
 ) -> OverheadRun:
     cluster = Cluster(n_hosts=2, seed=seed)
     _build_baseline(cluster)
+    if hosts > 2:
+        _add_analytic_hosts(cluster, hosts)
     if with_rescheduler:
         config = ReschedulerConfig(interval=interval)
         if cycle_cost is not None:
@@ -151,12 +172,23 @@ def run_overhead_experiment(
     interval: float = 10.0,
     cycle_cost: Optional[float] = None,
     settle: float = 900.0,
+    hosts: int = 2,
 ) -> OverheadResult:
-    """Run both configurations and derive the Figure 5/6 quantities."""
+    """Run both configurations and derive the Figure 5/6 quantities.
+
+    ``hosts`` > 2 surrounds the two instrumented workstations with
+    analytic plane hosts (the ``--set hosts=N`` sweep axis) — the
+    measured overheads stay a two-host comparison while the registry
+    and monitor hub carry an N-host cluster.
+    """
     if duration <= settle:
         raise ValueError("duration must exceed the settle window")
+    if hosts < 2:
+        raise ValueError("the overhead experiment needs >= 2 hosts")
     return OverheadResult(
-        with_rs=_run_once(True, duration, seed, interval, cycle_cost),
-        without_rs=_run_once(False, duration, seed, interval, cycle_cost),
+        with_rs=_run_once(True, duration, seed, interval, cycle_cost,
+                          hosts=hosts),
+        without_rs=_run_once(False, duration, seed, interval, cycle_cost,
+                             hosts=hosts),
         settle=settle,
     )

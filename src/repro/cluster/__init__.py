@@ -20,12 +20,19 @@ from .network import (
     HostDownError,
     Network,
 )
+from .plane import (
+    HOST_PLANE_MODES,
+    ClusterStateArrays,
+    HostPlane,
+    HostPlaneDivergence,
+)
 from .proctable import ProcEntry, ProcessTable
 
 __all__ = [
     "BulkTransferLoad",
     "ChatterLoad",
     "Cluster",
+    "ClusterStateArrays",
     "Cpu",
     "CpuHog",
     "DEFAULT_CPU_PER_BYTE",
@@ -35,8 +42,11 @@ __all__ = [
     "DutyCycleLoad",
     "ETHERNET_100MBPS",
     "Flow",
+    "HOST_PLANE_MODES",
     "Host",
     "HostDownError",
+    "HostPlane",
+    "HostPlaneDivergence",
     "LoadAverage",
     "Memory",
     "Network",

@@ -8,6 +8,7 @@ from ..sim.kernel import Environment
 from ..sim.rng import RngRegistry
 from .host import Host
 from .network import ETHERNET_100MBPS, Network
+from .plane import HostPlane
 
 #: Default protocol-processing cost: tuned so that a ~7.25 MB/s
 #: bidirectional bulk flow yields a ≈0.97 load on a speed-1.0 host —
@@ -28,6 +29,7 @@ class Cluster:
         cpu_speed: float = 1.0,
         host_prefix: str = "ws",
         env: Optional[Environment] = None,
+        host_plane: str = "auto",
     ):
         if n_hosts < 1:
             raise ValueError("need at least one host")
@@ -39,6 +41,10 @@ class Cluster:
             latency=latency,
             cpu_per_byte=cpu_per_byte,
         )
+        # The batched host plane: one periodic fold process for the
+        # whole cluster (mode "scalar" keeps per-host samplers, the
+        # oracle path — see repro.cluster.plane).
+        self.plane = HostPlane(self.env, mode=host_plane)
         self.hosts: dict[str, Host] = {}
         for i in range(1, n_hosts + 1):
             self.add_host(f"{host_prefix}{i}", cpu_speed=cpu_speed)
@@ -47,8 +53,32 @@ class Cluster:
         """Attach an extra host (heterogeneous parameters welcome)."""
         if name in self.hosts:
             raise ValueError(f"host {name!r} already exists")
-        host = Host(self.env, name, self.network, **kwargs)
+        host = Host(self.env, name, self.network, plane=self.plane,
+                    **kwargs)
         self.hosts[name] = host
+        return host
+
+    def add_analytic_host(
+        self,
+        name: str,
+        mean_load: float = 0.0,
+        period: float = 2.0,
+        phase: float = 0.0,
+        **kwargs: Any,
+    ) -> Host:
+        """Attach a host whose background load is modelled in closed
+        form by the host plane — no per-host sim processes at all.
+
+        This is the mega-cluster row: a duty cycle of ``mean_load``
+        (on ``mean_load * period`` wall-seconds per ``period``, offset
+        by ``phase``) contributes to the run queue analytically, so
+        thousands of these cost one batched fold per tick, not
+        thousands of events.  Requires ``host_plane`` auto/verify.
+        """
+        host = self.add_host(name, **kwargs)
+        self.plane.set_analytic(
+            name, mean_load=mean_load, period=period, phase=phase
+        )
         return host
 
     def host(self, name: str) -> Host:

@@ -65,6 +65,7 @@ class Host:
         arch: str = "sparc",
         cpu_mhz: float = 500.0,
         features: tuple = (),
+        plane: Optional[Any] = None,
     ):
         self.env = env
         self.name = name
@@ -75,7 +76,13 @@ class Host:
         self.disks.add("/", total=20 * 10**9, used=6 * 10**9)
         self.disks.add("/export/home", total=40 * 10**9, used=10 * 10**9)
         self.procs = ProcessTable(env)
-        self.loadavg = LoadAverage(env, lambda: self.cpu.run_queue)
+        # With a batched host plane the load average is a passive view
+        # the plane folds in batch; without one (or in scalar mode) it
+        # runs its own sampler process, the pre-plane model.
+        if plane is not None:
+            self.loadavg = plane.attach(self)
+        else:
+            self.loadavg = LoadAverage(env, lambda: self.cpu.run_queue)
         self.static_info = StaticInfo(
             hostname=name,
             ip=ip or _auto_ip(name),

@@ -8,18 +8,46 @@ run-queue length ``n`` is folded into three moving averages::
 with windows of 60 s (1-minute), 300 s (5-minute) and 900 s
 (15-minute).  The paper's Rule 1 and the §5.3 policies threshold on the
 1-minute value; Figure 5 plots it.
+
+The fold itself lives in :meth:`LoadAverage.fold` and the constants in
+:func:`decay_factors` so that the batched host plane
+(:mod:`repro.cluster.plane`) folds whole *columns* with bit-identical
+arithmetic: numpy's elementwise ``col * k + n * mk`` performs exactly
+the two float64 multiplies and one add the scalar path does (no fused
+multiply-add), so a vectorized fold and a per-host fold produce the
+same bytes — the property ``tests/cluster/test_plane.py`` enforces.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable
+from functools import lru_cache
+from typing import Any, Callable, Optional
 
 #: The traditional kernel sampling period.
 DEFAULT_SAMPLE_INTERVAL = 5.0
 
 #: (attribute name, window seconds)
 WINDOWS = (("one", 60.0), ("five", 300.0), ("fifteen", 900.0))
+
+
+@lru_cache(maxsize=None)
+def decay_factors(sample_interval: float) -> tuple:
+    """``((k, 1 - k), ...)`` for the 1/5/15-minute windows.
+
+    The shared constant table: the scalar sampler and the vectorized
+    column fold both read their ``k``/``1 - k`` pairs from here, so the
+    two paths cannot drift apart numerically.
+    """
+    if sample_interval <= 0:
+        raise ValueError("sample_interval must be positive")
+    return tuple(
+        (k, 1.0 - k)
+        for k in (
+            math.exp(-float(sample_interval) / window)
+            for _, window in WINDOWS
+        )
+    )
 
 
 class LoadAverage:
@@ -35,13 +63,18 @@ class LoadAverage:
         is folded in).
     sample_interval:
         Seconds between samples (default 5, like the Unix kernel).
+    sampler:
+        Start the periodic sampling process (default).  The batched
+        host plane passes ``False`` and drives :meth:`fold` itself —
+        one sim process per cluster instead of one per host.
     """
 
     def __init__(
         self,
         env: Any,
-        runqueue_fn: Callable[[], float],
+        runqueue_fn: Optional[Callable[[], float]],
         sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+        sampler: bool = True,
     ):
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
@@ -51,19 +84,34 @@ class LoadAverage:
         self.one = 0.0
         self.five = 0.0
         self.fifteen = 0.0
-        self._decay = {
-            name: math.exp(-self.sample_interval / window)
-            for name, window in WINDOWS
-        }
-        self._proc = env.process(self._sampler(), name="loadavg")
+        # Decay constants hoisted to plain float attributes — the
+        # sampler's inner loop does three attribute reads instead of
+        # three dict lookups by string key.
+        (
+            (self.k_one, self.mk_one),
+            (self.k_five, self.mk_five),
+            (self.k_fifteen, self.mk_fifteen),
+        ) = decay_factors(self.sample_interval)
+        self._proc = (
+            env.process(self._sampler(), name="loadavg") if sampler
+            else None
+        )
+
+    def fold(self, n: float) -> None:
+        """Fold one run-queue reading into all three averages.
+
+        The scalar oracle for the host plane's column fold — both use
+        the :func:`decay_factors` constants and the same
+        multiply/multiply/add shape.
+        """
+        self.one = self.one * self.k_one + n * self.mk_one
+        self.five = self.five * self.k_five + n * self.mk_five
+        self.fifteen = self.fifteen * self.k_fifteen + n * self.mk_fifteen
 
     def _sampler(self):
         while True:
             yield self.env.timeout(self.sample_interval)
-            n = float(self.runqueue_fn())
-            for name, _ in WINDOWS:
-                k = self._decay[name]
-                setattr(self, name, getattr(self, name) * k + n * (1.0 - k))
+            self.fold(float(self.runqueue_fn()))
 
     def as_tuple(self) -> tuple:
         """(1-min, 5-min, 15-min) like ``os.getloadavg``."""

@@ -134,6 +134,9 @@ class Network:
         self.cpu_per_byte = float(cpu_per_byte)
         self._ports: Dict[str, _HostPort] = {}
         self._flows: list[Flow] = []
+        #: Hosts whose CPU carried a nonzero comm load at the last
+        #: recompute (the only ports a recompute must revisit).
+        self._loaded: set = set()
         self._last_update = env.now
         self._wakeup: Optional[Event] = None
         self._wakeup_time = math.inf
@@ -350,14 +353,23 @@ class Network:
     def _update_cpu_loads(self) -> None:
         if self.cpu_per_byte <= 0:
             return
-        totals = {name: 0.0 for name in self._ports}
+        # Touch only flow endpoints plus hosts loaded last recompute
+        # (their load may need zeroing) — O(flow endpoints), not
+        # O(ports).  A mega-cluster's thousands of idle analytic hosts
+        # stay untouched on every recompute; zero→zero writes they
+        # would have received are no-ops in ``Cpu.set_comm_load``.
+        totals: dict = {name: 0.0 for name in self._loaded}
         for flow in self._flows:
-            totals[flow.src] += flow.rate
-            totals[flow.dst] += flow.rate
+            totals[flow.src] = totals.get(flow.src, 0.0) + flow.rate
+            totals[flow.dst] = totals.get(flow.dst, 0.0) + flow.rate
+        loaded = set()
         for name, total in totals.items():
             cpu = self._ports[name].cpu
             if cpu is not None:
                 cpu.set_comm_load(total * self.cpu_per_byte)
+            if total > 0.0:
+                loaded.add(name)
+        self._loaded = loaded
 
     def _schedule_next_completion(self) -> None:
         delay = math.inf

@@ -1,0 +1,422 @@
+"""The batched host plane: per-host sensor state as numpy columns.
+
+The scalar cluster model spends one Python sim-process per host per
+sensor family — a load-average sampler each, a duty-cycle generator
+each, a monitor loop each — which caps credible sweeps at tens of
+hosts.  This module keeps the same state as **columns** — one row per
+host in builder order — updated by a *single* periodic process per
+cluster: the exponentially damped fold of :mod:`.loadavg` runs as one
+vectorized statement (``load = load * k + n * (1 - k)``) across every
+host, and background duty cycles / injected hogs become closed-form
+run-queue columns instead of event-generating processes.
+
+Two kinds of row:
+
+* **backed** rows belong to a full :class:`~repro.cluster.host.Host`;
+  their run queue is gathered from ``host.cpu.run_queue`` each tick and
+  the folded averages are written back to the host's (passive)
+  :class:`~repro.cluster.loadavg.LoadAverage`, so every consumer — the
+  sensor suite, recorders, ``repr`` — reads exactly what it always
+  read.
+* **analytic** rows model their background load in closed form: each
+  duty cycle contributes its exact mean occupancy over the elapsed
+  sample window (the integral of its on/off square wave — alias-free)
+  and injected hogs add a constant; no CPU jobs, no events.  This is
+  where the O(1000s)-host scaling comes from.
+
+Mode switch (mirroring the decision plane's ``vector_mode``):
+
+* ``auto`` — the batched fold drives every row (the default).
+* ``scalar`` — each backed host runs its own sampler process, exactly
+  the pre-plane model; the oracle for differential tests.  Analytic
+  rows require the batched fold and are rejected in this mode.
+* ``verify`` — the batched fold runs *and* a shadow scalar fold (the
+  very :meth:`~repro.cluster.loadavg.LoadAverage.fold` method, one
+  host at a time) folds the same gathered readings; any bitwise
+  difference raises :class:`HostPlaneDivergence`.
+
+Bit-identity of ``auto`` against ``scalar`` rests on two facts: the
+fold constants come from one table
+(:func:`~repro.cluster.loadavg.decay_factors`), and numpy's elementwise
+``col * k + n * mk`` performs the same two float64 multiplies and one
+add as the scalar statement (no fused multiply-add).  All rows fold on
+the cluster-wide grid ``t0 + i * sample_interval``; hosts created
+before the simulation starts therefore sample at the exact instants
+their per-host samplers would have used.  (A host attached *mid-run*
+joins the shared grid instead of starting its own — the one documented
+departure from the per-host model.)
+
+The metric vocabulary of :meth:`HostPlane.analytic_sensor_columns`
+deliberately mirrors :meth:`repro.monitor.sensors.SensorSuite.sample`;
+a tier-1 test asserts the two key sets stay equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .loadavg import DEFAULT_SAMPLE_INTERVAL, LoadAverage, decay_factors
+
+#: Host-plane modes, mirroring the registry's ``vector_mode``.
+HOST_PLANE_MODES = ("auto", "scalar", "verify")
+
+#: Baseline open sockets reported for analytic rows (matches
+#: ``repro.monitor.sensors.BASE_SOCKETS``; asserted equal by tests).
+BASE_SOCKETS = 25
+
+
+class HostPlaneDivergence(AssertionError):
+    """The batched fold and the scalar shadow fold disagreed."""
+
+
+class ClusterStateArrays:
+    """Columnar per-host sensor state, one row per host in builder order.
+
+    Growable float64 columns (doubling, like
+    :class:`~repro.registry.hostmatrix.HostStateMatrix`).  Owned and
+    written by :class:`HostPlane`; everyone else treats the column
+    views as read-only.
+    """
+
+    #: Grown-in-lockstep float64 columns.
+    _COLUMNS = (
+        "load1", "load5", "load15", "runq",
+        "duty_busy", "duty_period", "duty_phase", "hog_count",
+        "mon_busy", "mon_period", "mon_phase",
+        "mem_avail_bytes", "mem_avail_pct", "vmem_avail_pct",
+        "disk_avail_bytes", "send_kbs", "recv_kbs",
+    )
+
+    def __init__(self, capacity: int = 16):
+        capacity = max(1, int(capacity))
+        self._n = 0
+        self._hosts: List[str] = []
+        self._index: Dict[str, int] = {}
+        for name in self._COLUMNS:
+            setattr(self, "_" + name, np.zeros(capacity))
+        self._analytic = np.zeros(capacity, dtype=bool)
+
+    # -- shape ----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def row_of(self, host: str) -> Optional[int]:
+        return self._index.get(host)
+
+    def host_at(self, row: int) -> str:
+        return self._hosts[row]
+
+    # -- mutation -------------------------------------------------------
+    def _grow(self) -> None:
+        cap = max(1, self._analytic.shape[0]) * 2
+        for name in self._COLUMNS:
+            attr = "_" + name
+            col = np.zeros(cap)
+            col[: self._n] = getattr(self, attr)[: self._n]
+            setattr(self, attr, col)
+        analytic = np.zeros(cap, dtype=bool)
+        analytic[: self._n] = self._analytic[: self._n]
+        self._analytic = analytic
+
+    def add_row(self, host: str) -> int:
+        if host in self._index:
+            raise ValueError(f"host {host!r} already has a row")
+        if self._n == self._analytic.shape[0]:
+            self._grow()
+        row = self._n
+        self._n += 1
+        self._hosts.append(host)
+        self._index[host] = row
+        for name in self._COLUMNS:
+            getattr(self, "_" + name)[row] = 0.0
+        self._analytic[row] = False
+        return row
+
+    # -- column views ---------------------------------------------------
+    def col(self, name: str) -> np.ndarray:
+        """Active-row view of one column (raises for unknown names)."""
+        if name not in self._COLUMNS:
+            raise KeyError(name)
+        return getattr(self, "_" + name)[: self._n]
+
+    @property
+    def analytic(self) -> np.ndarray:
+        return self._analytic[: self._n]
+
+    @property
+    def hosts(self) -> List[str]:
+        return self._hosts
+
+
+class HostPlane:
+    """The single periodic sampler over :class:`ClusterStateArrays`."""
+
+    def __init__(
+        self,
+        env: Any,
+        sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+        mode: str = "auto",
+    ):
+        if mode not in HOST_PLANE_MODES:
+            raise ValueError(
+                f"host_plane must be one of {HOST_PLANE_MODES}, "
+                f"got {mode!r}"
+            )
+        self.env = env
+        self.mode = mode
+        self.sample_interval = float(sample_interval)
+        self.arrays = ClusterStateArrays()
+        #: (row, host) pairs whose run queue is gathered each tick.
+        self._backed: List[Tuple[int, Any]] = []
+        #: Row-aligned passive LoadAverage targets for write-back.
+        self._views: List[Optional[LoadAverage]] = []
+        #: Scalar shadow state for ``verify`` ([one, five, fifteen]).
+        self._shadow: List[List[float]] = []
+        self.ticks = 0
+        self.folds = 0
+        self._proc = None
+        ((self._k1, self._mk1), (self._k5, self._mk5),
+         (self._k15, self._mk15)) = decay_factors(self.sample_interval)
+
+    # -- registration ---------------------------------------------------
+    @property
+    def batched(self) -> bool:
+        return self.mode != "scalar"
+
+    def attach(self, host: Any) -> LoadAverage:
+        """Register ``host`` as a backed row; returns its load average.
+
+        In ``scalar`` mode the returned :class:`LoadAverage` runs its
+        own sampler process (the pre-plane model); otherwise it is
+        passive and this plane folds it in batch.
+        """
+        row = self.arrays.add_row(host.name)
+        loadavg = LoadAverage(
+            host.env, lambda: host.cpu.run_queue,
+            sample_interval=self.sample_interval,
+            sampler=not self.batched,
+        )
+        self._backed.append((row, host))
+        self._views.append(loadavg)
+        self._shadow.append([0.0, 0.0, 0.0])
+        if self.batched and self._proc is None:
+            self._proc = self.env.process(self._run(), name="hostplane")
+        return loadavg
+
+    def set_analytic(
+        self,
+        name: str,
+        mean_load: float = 0.0,
+        period: float = 2.0,
+        phase: float = 0.0,
+        static: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Switch a row to closed-form load modelling.
+
+        ``mean_load``/``period``/``phase`` describe the background duty
+        cycle (busy ``mean_load * period`` wall-seconds per period);
+        ``static`` pins the memory/disk sensor columns (defaults to the
+        backing host's current readings).
+        """
+        if not self.batched:
+            raise ValueError("analytic rows require host_plane=auto/verify")
+        if not 0 <= mean_load < 1:
+            raise ValueError("mean_load must lie in [0, 1)")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        row = self.arrays.row_of(name)
+        if row is None:
+            raise KeyError(name)
+        a = self.arrays
+        a.analytic[row] = True
+        a.col("duty_busy")[row] = float(mean_load) * float(period)
+        a.col("duty_period")[row] = float(period)
+        a.col("duty_phase")[row] = float(phase)
+        host = next(h for r, h in self._backed if r == row)
+        static = static or {
+            "mem_avail_bytes": host.memory.physical_available,
+            "mem_avail_pct": host.memory.physical_available_pct,
+            "vmem_avail_pct": host.memory.virtual_available_pct,
+            "disk_avail_bytes": host.disks.total_available(),
+        }
+        for key, value in static.items():
+            a.col(key)[row] = float(value)
+        # Analytic rows never gather from the CPU model.
+        self._backed = [(r, h) for r, h in self._backed if r != row]
+
+    def set_monitor_duty(
+        self, rows: np.ndarray, busy: float, period: float,
+        phases: np.ndarray,
+    ) -> None:
+        """Model the monitor's per-cycle CPU cost as a second duty
+        family on analytic rows (the Figure 5 overhead, in closed
+        form)."""
+        a = self.arrays
+        a.col("mon_busy")[rows] = float(busy)
+        a.col("mon_period")[rows] = float(period)
+        a.col("mon_phase")[rows] = np.asarray(phases, dtype=float)
+
+    def inject_hogs(self, name: str, count: int = 1) -> None:
+        """Add compute-bound background tasks to an analytic row."""
+        row = self.arrays.row_of(name)
+        if row is None:
+            raise KeyError(name)
+        if not self.arrays.analytic[row]:
+            raise ValueError(f"{name!r} is not an analytic row")
+        self.arrays.col("hog_count")[row] += int(count)
+
+    def clear_hogs(self, name: str) -> None:
+        row = self.arrays.row_of(name)
+        if row is None:
+            raise KeyError(name)
+        self.arrays.col("hog_count")[row] = 0.0
+
+    def analytic_rows(self) -> np.ndarray:
+        return np.flatnonzero(self.arrays.analytic)
+
+    # -- the batched tick -----------------------------------------------
+    def _run(self):
+        while True:
+            yield self.sample_interval  # bare-delay fast path
+            self._tick()
+
+    @staticmethod
+    def _on_time(x: np.ndarray, period: np.ndarray,
+                 busy: np.ndarray) -> np.ndarray:
+        """Signed busy-seconds of an eternal square wave over [0, x)."""
+        return (busy * np.floor(x / period)
+                + np.minimum(np.mod(x, period), busy))
+
+    def _analytic_runq(self, t: float, rows: np.ndarray) -> np.ndarray:
+        """Closed-form run queue of analytic rows for the sample ending
+        at ``t``: each duty family contributes its **exact mean
+        occupancy** over the elapsed sample interval (the integral of
+        the on/off square wave, in closed form) plus the constant hog
+        count.
+
+        Folding the windowed mean instead of a point sample keeps the
+        model alias-free: a 2 s duty cycle point-sampled on the 5 s
+        grid would hit only ``gcd``-many points of the wave and read a
+        load unrelated to ``mean_load``; the windowed mean converges to
+        ``mean_load`` for every period/phase combination.
+        """
+        a = self.arrays
+        q = a.col("hog_count")[rows].copy()
+        dt = self.sample_interval
+        for family in ("duty", "mon"):
+            period = a.col(f"{family}_period")[rows]
+            busy = a.col(f"{family}_busy")[rows]
+            phase = a.col(f"{family}_phase")[rows]
+            active = np.flatnonzero(period > 0)
+            if active.size:
+                p, b = period[active], busy[active]
+                x1 = t - phase[active]
+                q[active] += (
+                    self._on_time(x1, p, b)
+                    - self._on_time(x1 - dt, p, b)
+                ) / dt
+        return q
+
+    def _tick(self) -> None:
+        a = self.arrays
+        n = a.n
+        if n == 0:
+            self.ticks += 1
+            return
+        t = self.env.now
+        runq = a.col("runq")
+        for row, host in self._backed:
+            runq[row] = host.cpu.run_queue
+        analytic = self.analytic_rows()
+        if analytic.size:
+            runq[analytic] = self._analytic_runq(t, analytic)
+        # The vectorized fold — one statement per window, all hosts.
+        load1, load5, load15 = (a.col("load1"), a.col("load5"),
+                                a.col("load15"))
+        load1 *= self._k1
+        load1 += runq * self._mk1
+        load5 *= self._k5
+        load5 += runq * self._mk5
+        load15 *= self._k15
+        load15 += runq * self._mk15
+        if self.mode == "verify":
+            self._verify_fold(runq, load1, load5, load15)
+        # Write-back: consumers keep reading host.loadavg.{one,five,...}.
+        for view, one, five, fifteen in zip(
+            self._views, load1.tolist(), load5.tolist(), load15.tolist()
+        ):
+            view.one = one
+            view.five = five
+            view.fifteen = fifteen
+        self.ticks += 1
+        self.folds += n
+
+    def _verify_fold(self, runq, load1, load5, load15) -> None:
+        """Shadow scalar fold (the LoadAverage.fold arithmetic, one
+        host at a time) against the batched columns, bit for bit."""
+        k1, mk1 = self._k1, self._mk1
+        k5, mk5 = self._k5, self._mk5
+        k15, mk15 = self._k15, self._mk15
+        for i, shadow in enumerate(self._shadow):
+            ni = runq[i]
+            shadow[0] = shadow[0] * k1 + ni * mk1
+            shadow[1] = shadow[1] * k5 + ni * mk5
+            shadow[2] = shadow[2] * k15 + ni * mk15
+            if (shadow[0] != load1[i] or shadow[1] != load5[i]
+                    or shadow[2] != load15[i]):
+                raise HostPlaneDivergence(
+                    f"host plane fold diverged on row {i} "
+                    f"({self.arrays.host_at(i)}) at t={self.env.now}: "
+                    f"batched ({load1[i]!r}, {load5[i]!r}, "
+                    f"{load15[i]!r}) != scalar {tuple(shadow)!r}"
+                )
+
+    # -- sensor columns for the monitor hub ------------------------------
+    def analytic_sensor_columns(
+        self, rows: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """One coherent column snapshot of the analytic rows, in the
+        exact metric vocabulary of ``SensorSuite.sample``.
+
+        Utilization is the closed-form mean: duty fraction plus
+        monitor-cost fraction, saturated to 1 when hogs run.
+        """
+        a = self.arrays
+        util = np.zeros(rows.shape[0])
+        for family in ("duty", "mon"):
+            period = a.col(f"{family}_period")[rows]
+            busy = a.col(f"{family}_busy")[rows]
+            active = period > 0
+            with np.errstate(invalid="ignore", divide="ignore"):
+                util[active] += busy[active] / period[active]
+        util = np.minimum(
+            1.0, util + np.where(a.col("hog_count")[rows] > 0, 1.0, 0.0)
+        )
+        proc_count = (
+            (a.col("duty_period")[rows] > 0).astype(float)
+            + a.col("hog_count")[rows]
+        )
+        send = a.col("send_kbs")[rows]
+        recv = a.col("recv_kbs")[rows]
+        return {
+            "loadavg1": a.col("load1")[rows],
+            "loadavg5": a.col("load5")[rows],
+            "loadavg15": a.col("load15")[rows],
+            "cpu_util": util,
+            "cpu_idle_pct": 100.0 * (1.0 - util),
+            "proc_count": proc_count,
+            "socket_count": np.full(rows.shape[0], float(BASE_SOCKETS)),
+            "mem_avail_bytes": a.col("mem_avail_bytes")[rows],
+            "mem_avail_pct": a.col("mem_avail_pct")[rows],
+            "vmem_avail_pct": a.col("vmem_avail_pct")[rows],
+            "disk_avail_bytes": a.col("disk_avail_bytes")[rows],
+            "send_kbs": send,
+            "recv_kbs": recv,
+            "comm_mbs": (send + recv) / 1024.0,
+        }

@@ -16,6 +16,7 @@ from ..commander.commander import Commander
 from ..hpcm.app import MigratableApp
 from ..hpcm.runtime import HpcmRuntime, launch as hpcm_launch
 from ..hpcm.runtime import launch_world as hpcm_launch_world
+from ..monitor.hub import MonitorHub
 from ..monitor.monitor import DEFAULT_CYCLE_COST, DEFAULT_INTERVAL, Monitor
 from ..mpi.runtime import MpiRuntime
 from ..protocol.transport import EndpointRegistry
@@ -57,6 +58,11 @@ class ReschedulerConfig:
     #: matrix), "scalar" (record-list oracle), or "verify" (both, with
     #: a raise on divergence) — see docs/decision_plane.md.
     vector_mode: str = "auto"
+    #: Host-plane mode for the monitoring tier: "auto" batches the
+    #: cluster's analytic rows under one MonitorHub, "verify" also
+    #: scalar-classifies each row and raises on divergence, "scalar"
+    #: refuses analytic rows (per-host monitors only — the oracle).
+    host_plane: str = "auto"
 
 
 class Rescheduler:
@@ -119,9 +125,43 @@ class Rescheduler:
             self.registry.table.register(
                 name, cluster.host(name).static_info.as_dict()
             )
+        # Partition the host list: analytic plane rows are monitored in
+        # batch by one MonitorHub; backed hosts get the per-host
+        # monitor/commander pair exactly as before.
+        plane = getattr(cluster, "plane", None)
+        analytic_names = [
+            name for name in host_names
+            if plane is not None
+            and plane.arrays.row_of(name) is not None
+            and plane.arrays.analytic[plane.arrays.row_of(name)]
+        ]
+        if analytic_names and self.config.host_plane == "scalar":
+            raise ValueError(
+                "host_plane='scalar' cannot monitor analytic hosts "
+                f"(found {len(analytic_names)}); use auto or verify"
+            )
+        backed_names = [n for n in host_names if n not in set(analytic_names)]
+        self.hub: Optional[MonitorHub] = None
+        if analytic_names:
+            self.hub = MonitorHub(
+                plane,
+                analytic_names,
+                endpoint_host=cluster.host(registry_host),
+                directory=self.directory,
+                registry_address=self.registry.address,
+                table=self.registry.table,
+                ruleset=self.config.ruleset,
+                policy=self.policy,
+                interval=self.config.interval,
+                intervals_by_state=self.config.intervals_by_state,
+                sustain=self.config.sustain,
+                cycle_cost=self.config.cycle_cost,
+                rng=cluster.rng.stream("monitorhub"),
+                verify=(self.config.host_plane == "verify") or None,
+            )
         self.monitors: Dict[str, Monitor] = {}
         self.commanders: Dict[str, Commander] = {}
-        for name in host_names:
+        for name in backed_names:
             host = cluster.host(name)
             self.monitors[name] = Monitor(
                 host,
@@ -220,6 +260,8 @@ class Rescheduler:
         if tracer.enabled:
             tracer.event(EV_RESCHEDULER_STOP, t=self.env.now,
                          host=self.registry.host.name)
+        if self.hub is not None:
+            self.hub.stop()
         for monitor in self.monitors.values():
             monitor.stop()
         for commander in self.commanders.values():

@@ -16,6 +16,11 @@ from .timeseries import TimeSeries
 
 DEFAULT_RECORD_INTERVAL = 10.0
 
+#: Samples buffered per metric before a bulk ``append_many`` flush.
+#: Within a flush window appends are plain list appends; the series
+#: (and its array-view invalidation) is touched once per batch.
+FLUSH_EVERY = 32
+
 #: The metrics every recorder tracks per host.  ``load_true`` is the
 #: exact windowed mean of the run queue (∫queue dt / Δt) — what the
 #: sampled load averages estimate, without their sampling noise.
@@ -39,8 +44,13 @@ class HostRecorder:
         self.host = host
         self.env = host.env
         self.interval = float(interval)
-        self.series: Dict[str, TimeSeries] = {
+        self._series: Dict[str, TimeSeries] = {
             m: TimeSeries(f"{host.name}.{m}") for m in metrics
+        }
+        #: Per-metric (times, values) staging lists, flushed in bulk
+        #: through :meth:`TimeSeries.append_many`.
+        self._pending: Dict[str, tuple] = {
+            m: ([], []) for m in metrics
         }
         self._cpu_state: Optional[dict] = None
         self._last_tx: Optional[tuple] = None
@@ -87,11 +97,34 @@ class HostRecorder:
         values["send_kbs"] = send_kbs
         values["recv_kbs"] = recv_kbs
         for metric, value in values.items():
-            if metric in self.series:
-                self.series[metric].append(now, value)
+            pending = self._pending.get(metric)
+            if pending is not None:
+                pending[0].append(now)
+                pending[1].append(value)
+                if len(pending[0]) >= FLUSH_EVERY:
+                    self._flush(metric)
+
+    def _flush(self, metric: str) -> None:
+        times, vals = self._pending[metric]
+        if times:
+            self._series[metric].append_many(times, vals)
+            times.clear()
+            vals.clear()
+
+    def flush(self) -> None:
+        """Push every buffered sample into its series."""
+        for metric in self._pending:
+            self._flush(metric)
+
+    @property
+    def series(self) -> Dict[str, TimeSeries]:
+        """The recorded series, with all buffered samples flushed."""
+        self.flush()
+        return self._series
 
     def __getitem__(self, metric: str) -> TimeSeries:
-        return self.series[metric]
+        self._flush(metric)
+        return self._series[metric]
 
 
 class ClusterRecorder:

@@ -1,0 +1,292 @@
+"""The monitor hub: one sim process monitoring thousands of hosts.
+
+The per-host :class:`~repro.monitor.monitor.Monitor` is the right
+shape for the paper's 64-node testbed — every host pays its own cycle,
+pushes its own XML status message, and the registry folds them in one
+by one.  At O(1000s) hosts that is O(hosts × sample-rate) Python
+processes and wire messages, which is exactly what caps sweep sizes.
+
+This hub drives the *analytic* rows of the batched host plane
+(:mod:`repro.cluster.plane`) instead:
+
+* one kernel process wakes on a fixed sub-interval cadence and
+  collects every row whose (jittered, per-row) cycle is due;
+* the due rows' sensor snapshot is a **column** read
+  (``plane.analytic_sensor_columns``), not per-host sampling;
+* classification is vectorized — the rule set through
+  :class:`~repro.rules.vector.VectorRuleEvaluator` and the policy's
+  trigger/guard predicates as column comparisons — mirroring
+  ``MonitorCore.classify`` element for element;
+* each row still owns a pure :class:`~repro.monitor.core.MonitorCore`
+  (pumped with the pre-computed state, so sustain warm-up, per-state
+  intervals and the monitoring database behave exactly as on a backed
+  host);
+* FREE/BUSY results land in the registry's
+  :meth:`~repro.registry.softstate.SoftStateTable.push_many` as one
+  batch — sim-internal delivery, no per-host XML — while OVERLOADED
+  reports go out as real :class:`~repro.protocol.messages.StatusUpdate`
+  messages through the hub's endpoint, so decisions, traces and
+  command cooldowns flow through ``RegistryCore.handle`` unchanged.
+
+The monitoring cycle's CPU cost is modelled as a second duty family on
+the plane's columns (``set_monitor_duty``) rather than real
+``cpu.execute`` events — the Figure 5 overhead shows up in the load
+averages without per-host event traffic.
+
+In ``verify`` mode every due row is *also* classified by its core's
+scalar path over the same snapshot and any disagreement raises
+:class:`~repro.cluster.plane.HostPlaneDivergence` — the differential
+harness of ``tests/monitor/test_hub.py``.
+
+Import note: like ``repro.registry.hostmatrix``, the script→column
+table below is spelled out literally instead of imported, keeping this
+module free of registry imports (``registry.core`` imports
+``monitor.selector``; a hub→registry import would close a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.plane import HostPlaneDivergence
+from ..protocol.transport import Endpoint, EndpointRegistry
+from ..rules.model import RuleSet
+from ..rules.states import SystemState
+from ..rules.vector import FREE, OVERLOADED, VectorRuleEvaluator
+from .core import DEFAULT_INTERVAL, MonitorCore
+from .monitor import DEFAULT_CYCLE_COST
+from .scripts import SnapshotScriptEngine
+
+#: Hub wake-ups per monitoring interval: due rows are batched onto this
+#: sub-cadence instead of one wake-up per host per cycle.
+TICKS_PER_INTERVAL = 8
+
+_OPS = {"<": np.less, "<=": np.less_equal,
+        ">": np.greater, ">=": np.greater_equal}
+
+#: Script names → the snapshot column each one reads (the vector twin
+#: of ``SnapshotScriptEngine``'s handler table).
+_SCRIPT_COLUMNS: Dict[str, Callable[[str], str]] = {
+    "processorStatus.sh": lambda p: "cpu_idle_pct",
+    "loadAvg.sh": lambda p: {
+        "": "loadavg1", "1": "loadavg1", "5": "loadavg5",
+        "15": "loadavg15",
+    }[p.strip()],
+    "procCount.sh": lambda p: "proc_count",
+    "ntStatIpv4.sh": lambda p: "socket_count",
+    "netFlow.sh": lambda p: "comm_mbs",
+    "memInfo.sh": lambda p: ("vmem_avail_pct" if p.strip() == "virtual"
+                             else "mem_avail_pct"),
+    "diskUsage.sh": lambda p: "disk_avail_bytes",
+}
+
+
+class MonitorHub:
+    """Batched monitoring of the host plane's analytic rows."""
+
+    def __init__(
+        self,
+        plane: Any,
+        hosts: List[str],
+        endpoint_host: Any,
+        directory: EndpointRegistry,
+        registry_address: str,
+        table: Any,
+        ruleset: Optional[RuleSet] = None,
+        policy: Any = None,
+        interval: float = DEFAULT_INTERVAL,
+        intervals_by_state: Optional[Dict[SystemState, float]] = None,
+        sustain: int = 3,
+        cycle_cost: float = DEFAULT_CYCLE_COST,
+        root_rule: Optional[int] = None,
+        rng: Any = None,
+        n_levels: int = 3,
+        verify: Optional[bool] = None,
+        database_max_samples: int = 4,
+    ):
+        if not hosts:
+            raise ValueError("hub needs at least one analytic host")
+        self.plane = plane
+        self.env = plane.env
+        self.hosts = list(hosts)
+        self.endpoint = Endpoint(endpoint_host, directory,
+                                 name="monitorhub")
+        self.table = table
+        self.registry_address = registry_address
+        self.ruleset = ruleset or RuleSet()
+        self.policy = policy
+        self.interval = float(interval)
+        self.intervals_by_state = intervals_by_state or {}
+        self.root_rule = root_rule
+        self.rng = rng
+        self.verify = plane.mode == "verify" if verify is None else verify
+        self.cycle_cost = float(cycle_cost)
+        self.cycles = 0
+        self._stopped = False
+
+        n = len(self.hosts)
+        self._rows = np.empty(n, dtype=np.intp)
+        self._cores: List[MonitorCore] = []
+        self._engines: List[SnapshotScriptEngine] = []
+        for i, name in enumerate(self.hosts):
+            row = plane.arrays.row_of(name)
+            if row is None or not plane.arrays.analytic[row]:
+                raise ValueError(f"{name!r} is not an analytic row")
+            self._rows[i] = row
+            engine = SnapshotScriptEngine(sampler=dict)
+            self._engines.append(engine)
+            self._cores.append(MonitorCore(
+                clock=self.env,
+                host_name=name,
+                registry_address=registry_address,
+                script_engine=engine,
+                ruleset=self.ruleset,
+                policy=policy,
+                interval=interval,
+                intervals_by_state=intervals_by_state,
+                sustain=sustain,
+                root_rule=root_rule,
+                n_levels=n_levels,
+                database_max_samples=database_max_samples,
+            ))
+        # Vectorized classification over the current tick's columns
+        # (empty rule sets classify FREE, like the scalar evaluator).
+        self._cols: Dict[str, np.ndarray] = {}
+        self._vec = (
+            VectorRuleEvaluator(self.ruleset, self._column_engine,
+                                n_levels=n_levels)
+            if len(self.ruleset.rules) else None
+        )
+        # Per-row cycle phases: the same decorrelating random start a
+        # per-host monitor draws, as one array draw.
+        phases = (
+            rng.random(n) * self.interval if rng is not None
+            else np.zeros(n)
+        )
+        self._next_due = self.env.now + self.interval + phases
+        # The cycle cost shows up in the analytic load averages as a
+        # monitor duty cycle instead of per-host cpu.execute events.
+        plane.set_monitor_duty(self._rows, busy=self.cycle_cost,
+                               period=self.interval,
+                               phases=self.env.now + phases)
+        self.proc = self.env.process(self._run(), name="monitorhub")
+
+    # -- vector plumbing ------------------------------------------------
+    def _column_engine(self, script: str, param: str = "") -> np.ndarray:
+        to_column = _SCRIPT_COLUMNS[script]  # KeyError intended
+        return self._cols[to_column(param)]
+
+    def _vector_classify(self, cols: Dict[str, np.ndarray],
+                         n: int) -> np.ndarray:
+        """``MonitorCore.classify`` as column operations (int8 codes)."""
+        if self._vec is not None:
+            states = self._vec.evaluate_host_states(self.root_rule)
+        else:
+            states = np.full(n, np.int8(FREE))
+        policy = self.policy
+        if policy is not None and getattr(policy, "enabled", True):
+            triggers = getattr(policy, "triggers", ())
+            if triggers:
+                fired = np.zeros(n, dtype=bool)
+                for t in triggers:
+                    fired |= _OPS[t.op](cols[t.metric], t.value)
+                states = np.where(
+                    fired, np.maximum(states, np.int8(OVERLOADED)),
+                    states,
+                ).astype(np.int8)
+            guards = getattr(policy, "source_guards", ())
+            if guards:
+                held = np.ones(n, dtype=bool)
+                for g in guards:
+                    held &= _OPS[g.op](cols[g.metric], g.value)
+                demote = (states == OVERLOADED) & ~held
+                states[demote] = np.int8(SystemState.BUSY)
+        return states
+
+    @property
+    def cores(self) -> List[MonitorCore]:
+        """The per-row pure cores, in ``hosts`` order."""
+        return self._cores
+
+    @property
+    def core_cycles(self) -> int:
+        """Total monitoring cycles completed across all rows."""
+        return sum(core.cycles for core in self._cores)
+
+    # -- lifecycle ------------------------------------------------------
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        tick = self.interval / TICKS_PER_INTERVAL
+        while not self._stopped:
+            yield tick  # bare-delay fast path
+            if self._stopped:
+                break
+            self._tick()
+
+    def _tick(self) -> None:
+        now = self.env.now
+        due = np.flatnonzero(self._next_due <= now)
+        if due.size == 0:
+            return
+        n = due.size
+        cols = self.plane.analytic_sensor_columns(self._rows[due])
+        self._cols = cols
+        states = self._vector_classify(cols, n)
+        jitter = (self.rng.random(n) if self.rng is not None else None)
+
+        # Pump the pure cores row by row off the column views: sustain,
+        # per-state cadence and the monitoring database stay exactly
+        # the per-host semantics.
+        names = list(cols.keys())
+        scalar_cols = [cols[name].tolist() for name in names]
+        push_hosts: List[str] = []
+        push_states: List[SystemState] = []
+        push_j: List[int] = []
+        overloaded = []
+        for j, idx in enumerate(due.tolist()):
+            core = self._cores[idx]
+            snapshot = {
+                name: col[j] for name, col in zip(names, scalar_cols)
+            }
+            state = SystemState(int(states[j]))
+            if self.verify:
+                self._verify_row(idx, snapshot, state)
+            update = core.finish_cycle(None, snapshot, [], state=state)
+            if update.state is SystemState.OVERLOADED:
+                overloaded.append(update)
+            else:
+                push_hosts.append(core.host_name)
+                push_states.append(update.state)
+                push_j.append(j)
+            interval = core.current_interval()
+            if jitter is not None:
+                interval *= 1.0 + 0.04 * (float(jitter[j]) - 0.5)
+            self._next_due[idx] = now + interval
+        if push_hosts:
+            sel = np.asarray(push_j, dtype=np.intp)
+            self.table.push_many(
+                push_hosts, push_states,
+                {name: cols[name][sel] for name in names},
+            )
+        # Overload reports travel the real wire so decisions, traces
+        # and cooldowns flow through RegistryCore.handle unchanged.
+        for update in overloaded:
+            self.endpoint.send_and_forget(self.registry_address, update)
+        self.cycles += 1
+
+    def _verify_row(self, idx: int, snapshot: Dict[str, float],
+                    state: SystemState) -> None:
+        """Scalar-classify one row off the same snapshot and compare."""
+        engine = self._engines[idx]
+        engine.snapshot = snapshot
+        scalar = self._cores[idx].classify(snapshot)
+        if scalar is not state:
+            raise HostPlaneDivergence(
+                f"hub classification diverged on "
+                f"{self._cores[idx].host_name} at t={self.env.now}: "
+                f"vector {state.name} != scalar {scalar.name}"
+            )

@@ -28,6 +28,7 @@ def cell_fig5(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
         interval=config.get("interval", 10.0),
         cycle_cost=config.get("cycle_cost"),
         settle=config.get("settle", 900.0),
+        hosts=config.get("hosts", 2),
     )
     return {
         "load1_without": r.load1_without,
@@ -52,6 +53,7 @@ def cell_fig6(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
         interval=config.get("interval", 10.0),
         cycle_cost=config.get("cycle_cost"),
         settle=config.get("settle", 900.0),
+        hosts=config.get("hosts", 2),
     )
     return {
         "send_kbs_without": r.send_kbs_without,
@@ -147,6 +149,25 @@ CELLS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, Any]]] = {
     "fig7": cell_fig7,
     "fig8": cell_fig8,
     "table2": cell_table2,
+}
+
+#: The config keys each cell actually reads — the valid ``--set`` axes.
+#: ``plan_sweep`` validates overrides against the union for the planned
+#: experiments, so a typo'd or mis-plumbed axis fails at plan time
+#: instead of silently riding along in every cache key.
+_EFFICIENCY_AXES = frozenset({
+    "app_start", "load_at", "duration", "hogs", "sustain", "levels",
+    "trees", "node_cost", "serialize_rate", "chunks", "resume_fraction",
+})
+CELL_AXES: Dict[str, frozenset] = {
+    "fig5": frozenset({"duration", "interval", "cycle_cost", "settle",
+                       "hosts"}),
+    "fig6": frozenset({"duration", "interval", "cycle_cost", "settle",
+                       "hosts"}),
+    "fig7": _EFFICIENCY_AXES,
+    "fig8": _EFFICIENCY_AXES,
+    "table2": frozenset({"params", "load_at", "hogs", "sustain",
+                         "bulk_rate", "ws3_load", "max_duration"}),
 }
 
 

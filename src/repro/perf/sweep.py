@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .cache import ResultCache, cache_key
-from .experiments import CELLS, run_cell
+from .experiments import CELL_AXES, CELLS, run_cell
 from .seeds import derive_seed
 
 
@@ -90,6 +90,19 @@ def plan_sweep(
             f"unknown experiments {unknown}; choose from {sorted(CELLS)}"
         )
     config = dict(config or {})
+    # Overrides must be axes some planned cell actually reads —
+    # otherwise a typo (``host=256``) silently pollutes every cache
+    # key while changing nothing.
+    valid_axes: set = set()
+    for experiment in set(experiments):
+        valid_axes |= CELL_AXES.get(experiment, frozenset())
+    bad_axes = sorted(set(config) - valid_axes)
+    if bad_axes:
+        raise ValueError(
+            f"config keys {bad_axes} are not read by "
+            f"{sorted(set(experiments))}; valid axes: "
+            f"{sorted(valid_axes)}"
+        )
     return [
         SweepCell(experiment=experiment, replica=replica,
                   seed=derive_seed(base_seed, experiment, replica),

@@ -166,6 +166,31 @@ class HostStateMatrix:
             if j is not None and value is not None:
                 self._metrics[row, j] = float(value)
 
+    def set_status_rows(
+        self,
+        rows: np.ndarray,
+        codes: np.ndarray,
+        columns: Dict[str, np.ndarray],
+        now: float,
+    ) -> None:
+        """Fold in a whole *batch* of status pushes at once.
+
+        ``rows`` are matrix row indices, ``codes`` the row-aligned int
+        :class:`SystemState` codes, and ``columns`` maps metric names
+        to row-aligned value arrays — the monitor hub's column
+        snapshot lands here without ever materialising per-host dicts.
+        Unknown metric names are ignored, exactly like
+        :meth:`set_status`.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        self._state[rows] = np.asarray(codes, dtype=np.int8)
+        self._last_update[rows] = float(now)
+        self._metrics[rows, :] = np.nan
+        for name, values in columns.items():
+            j = _COL_INDEX.get(name)
+            if j is not None:
+                self._metrics[rows, j] = np.asarray(values, dtype=float)
+
     def remove(self, host: str) -> None:
         """Drop a row, compacting so row order stays registration
         order (rare: unregister only)."""

@@ -97,6 +97,49 @@ class SoftStateTable:
         self.matrix.set_status(host, state, record.metrics, self.env.now)
         return record
 
+    def push_many(
+        self,
+        hosts: List[str],
+        states: List[SystemState],
+        columns: Dict[str, Any],
+    ) -> None:
+        """Fold in a whole batch of status pushes in one call.
+
+        ``hosts``/``states`` are row-aligned, and ``columns`` maps
+        metric names to row-aligned value arrays — the monitor hub's
+        column snapshot.  Equivalent to calling :meth:`update` once
+        per host (records refreshed, leases renewed, matrix rows
+        rewritten), except the matrix takes one fancy-indexed write
+        per column and no ``EV_REGISTRY_UPDATE`` trace event is
+        emitted per row — batch pushes are sim-internal delivery, not
+        wire messages (see ``repro.monitor.hub``).
+        """
+        now = self.env.now
+        names = list(columns.keys())
+        cols = [
+            np.asarray(columns[name], dtype=float).tolist()
+            for name in names
+        ]
+        rows = np.empty(len(hosts), dtype=np.intp)
+        for i, host in enumerate(hosts):
+            record = self._records.get(host)
+            if record is None:
+                record = self.register(host, {})
+            record.state = states[i]
+            record.metrics = {
+                name: col[i] for name, col in zip(names, cols)
+            }
+            record.processes = []
+            record.last_update = now
+            record.updates_received += 1
+            record.expiry_traced = False
+            rows[i] = self.matrix.row_of(host)
+        if len(hosts):
+            self.matrix.set_status_rows(
+                rows, np.asarray([int(s) for s in states], dtype=np.int8),
+                columns, now,
+            )
+
     def unregister(self, host: str) -> None:
         record = self._records.pop(host, None)
         if record is not None:

@@ -73,3 +73,37 @@ def test_repr_contains_values():
     la = LoadAverage(env, lambda: 1.0)
     env.run(until=300)
     assert "LoadAverage" in repr(la)
+
+
+def test_decay_constants_are_plain_attributes():
+    env = Environment()
+    la = LoadAverage(env, lambda: 0.0)
+    assert la.k_one == math.exp(-5.0 / 60.0)
+    assert la.mk_one == 1.0 - la.k_one
+    assert la.k_five == math.exp(-5.0 / 300.0)
+    assert la.k_fifteen == math.exp(-5.0 / 900.0)
+    assert la.mk_fifteen == 1.0 - la.k_fifteen
+
+
+def test_decay_factors_shared_table():
+    from repro.cluster.loadavg import decay_factors
+
+    # Cached: the scalar sampler and the column fold read the exact
+    # same float objects, so the two paths cannot drift.
+    assert decay_factors(5.0) is decay_factors(5.0)
+    (k1, mk1), (k5, mk5), (k15, mk15) = decay_factors(2.0)
+    assert k1 == math.exp(-2.0 / 60.0) and mk1 == 1.0 - k1
+    assert k5 == math.exp(-2.0 / 300.0) and k15 == math.exp(-2.0 / 900.0)
+    with pytest.raises(ValueError):
+        decay_factors(0.0)
+
+
+def test_sampler_false_folds_only_on_demand():
+    env = Environment()
+    la = LoadAverage(env, None, sampler=False)
+    assert la._proc is None
+    env.run(until=600)
+    assert la.as_tuple() == (0.0, 0.0, 0.0)  # nobody sampled
+    la.fold(2.0)
+    assert la.one == 2.0 * la.mk_one
+    assert la.five == 2.0 * la.mk_five

@@ -1,0 +1,264 @@
+"""The batched host plane: bit-identity, analytic rows, verify mode."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster import (
+    Cluster,
+    ClusterStateArrays,
+    DutyCycleLoad,
+    HostPlane,
+    HostPlaneDivergence,
+    LoadAverage,
+)
+from repro.cluster.loadavg import decay_factors
+from repro.monitor.sensors import BASE_SOCKETS, SNAPSHOT_METRICS
+from repro.sim import Environment
+
+
+# ---------------------------------------------------- fold bit-identity
+#: Sample intervals including the k = exp(-interval/window) edges where
+#: the interval equals a window (k = 1/e) and extreme ratios.
+_INTERVALS = st.one_of(
+    st.sampled_from([0.25, 1.0, 5.0, 7.5, 60.0, 300.0, 900.0, 1800.0]),
+    st.floats(min_value=1e-3, max_value=3600.0, allow_nan=False),
+)
+
+
+@given(
+    streams=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 60)),
+        elements=st.floats(min_value=0.0, max_value=1e9, width=64),
+    ),
+    interval=_INTERVALS,
+)
+@settings(max_examples=120, deadline=None)
+def test_column_fold_bit_identical_to_scalar(streams, interval):
+    """The vectorized fold produces the scalar fold's exact bytes for
+    every host, every sample, every interval."""
+    n_hosts, n_samples = streams.shape
+    oracles = [
+        LoadAverage(None, None, sample_interval=interval, sampler=False)
+        for _ in range(n_hosts)
+    ]
+    (k1, mk1), (k5, mk5), (k15, mk15) = decay_factors(interval)
+    one = np.zeros(n_hosts)
+    five = np.zeros(n_hosts)
+    fifteen = np.zeros(n_hosts)
+    for j in range(n_samples):
+        runq = streams[:, j].copy()
+        for host, oracle in enumerate(oracles):
+            oracle.fold(runq[host])
+        # The plane's exact in-place statement shape.
+        one *= k1
+        one += runq * mk1
+        five *= k5
+        five += runq * mk5
+        fifteen *= k15
+        fifteen += runq * mk15
+    for host, oracle in enumerate(oracles):
+        assert one[host] == oracle.one
+        assert five[host] == oracle.five
+        assert fifteen[host] == oracle.fifteen
+
+
+def _duty_cluster(mode: str, seed: int, n_hosts: int = 6) -> Cluster:
+    cluster = Cluster(n_hosts=n_hosts, seed=seed, host_plane=mode)
+    for i, host in enumerate(cluster):
+        DutyCycleLoad(
+            host, mean_load=0.08 + 0.07 * i, period=0.6 + 0.25 * i,
+            jitter=0.5, rng=cluster.rng.stream(f"duty-{host.name}"),
+        )
+    return cluster
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_whole_sim_scalar_equals_batched(seed):
+    """scalar ≡ auto, host by host, to the last bit: the same simulated
+    workload folded per-host and folded as columns."""
+    results = {}
+    for mode in ("scalar", "auto"):
+        cluster = _duty_cluster(mode, seed)
+        cluster.run(until=171.0)
+        results[mode] = {
+            h.name: h.loadavg.as_tuple() for h in cluster
+        }
+    assert results["scalar"] == results["auto"]
+    # And the loads actually moved — the comparison is not 0 == 0.
+    assert any(t[0] > 0 for t in results["auto"].values())
+
+
+def test_auto_writes_back_to_host_views():
+    cluster = _duty_cluster("auto", seed=3)
+    cluster.run(until=60.0)
+    a = cluster.plane.arrays
+    for host in cluster:
+        row = a.row_of(host.name)
+        assert host.loadavg.one == a.col("load1")[row]
+        assert host.loadavg.five == a.col("load5")[row]
+        assert host.loadavg.fifteen == a.col("load15")[row]
+
+
+# ------------------------------------------------------------ verify mode
+def test_verify_mode_runs_clean():
+    cluster = _duty_cluster("verify", seed=5)
+    cluster.run(until=90.0)
+    assert cluster.plane.ticks >= 17
+    assert cluster.plane.folds == cluster.plane.ticks * len(cluster)
+
+
+def test_verify_mode_catches_corruption():
+    cluster = _duty_cluster("verify", seed=5)
+    cluster.run(until=30.0)
+    # Corrupt one batched column behind the shadow fold's back.
+    cluster.plane.arrays.col("load1")[0] += 1e-9
+    with pytest.raises(HostPlaneDivergence):
+        cluster.run(until=60.0)
+
+
+# ---------------------------------------------------------- analytic rows
+def test_analytic_load_converges_to_mean_alias_free():
+    """Windowed-mean occupancy converges to mean_load for every
+    phase/period — including periods that divide the 5 s grid, which a
+    point-sampled model would alias."""
+    cluster = Cluster(n_hosts=1, seed=9)
+    means = {}
+    for i, (mean, period, phase) in enumerate([
+        (0.3, 2.0, 0.0),    # divides the grid: the aliasing trap
+        (0.55, 2.5, 1.3),   # divides the grid differently
+        (0.12, 0.7, 0.2),
+        (0.4, 3.3, 2.9),
+    ]):
+        name = f"an{i}"
+        cluster.add_analytic_host(name, mean_load=mean, period=period,
+                                  phase=phase)
+        means[name] = mean
+    cluster.run(until=600.0)
+    a = cluster.plane.arrays
+    for name, mean in means.items():
+        load1 = a.col("load1")[a.row_of(name)]
+        assert load1 == pytest.approx(mean, abs=0.01)
+
+
+def test_hog_injection_and_clear():
+    cluster = Cluster(n_hosts=1, seed=2)
+    cluster.add_analytic_host("an0", mean_load=0.2)
+    cluster.plane.inject_hogs("an0", 2)
+    cluster.run(until=300.0)
+    a = cluster.plane.arrays
+    assert a.col("load1")[a.row_of("an0")] == pytest.approx(2.2, abs=0.05)
+    cluster.plane.clear_hogs("an0")
+    cluster.run(until=900.0)
+    assert a.col("load1")[a.row_of("an0")] == pytest.approx(0.2, abs=0.05)
+
+
+def test_analytic_sensor_columns_match_sensor_vocabulary():
+    cluster = Cluster(n_hosts=1, seed=0)
+    cluster.add_analytic_host("an0", mean_load=0.25, period=2.0)
+    cluster.run(until=30.0)
+    plane = cluster.plane
+    cols = plane.analytic_sensor_columns(plane.analytic_rows())
+    assert set(cols) == set(SNAPSHOT_METRICS)
+    assert cols["socket_count"][0] == float(BASE_SOCKETS)
+    assert cols["cpu_util"][0] == pytest.approx(0.25)
+    assert cols["cpu_idle_pct"][0] == pytest.approx(75.0)
+    assert cols["mem_avail_bytes"][0] > 0
+    assert cols["disk_avail_bytes"][0] > 0
+    # Hogs saturate utilization.
+    plane.inject_hogs("an0", 1)
+    cols = plane.analytic_sensor_columns(plane.analytic_rows())
+    assert cols["cpu_util"][0] == 1.0
+
+
+def test_plane_base_sockets_matches_sensors():
+    from repro.cluster.plane import BASE_SOCKETS as PLANE_BASE_SOCKETS
+
+    assert PLANE_BASE_SOCKETS == BASE_SOCKETS
+
+
+# ----------------------------------------------------------- validation
+def test_scalar_mode_rejects_analytic_hosts():
+    cluster = Cluster(n_hosts=1, seed=0, host_plane="scalar")
+    with pytest.raises(ValueError, match="analytic"):
+        cluster.add_analytic_host("an0", mean_load=0.2)
+
+
+def test_bad_plane_mode_rejected():
+    with pytest.raises(ValueError, match="host_plane"):
+        HostPlane(Environment(), mode="turbo")
+
+
+def test_set_analytic_validation():
+    cluster = Cluster(n_hosts=1, seed=0)
+    with pytest.raises(ValueError, match="mean_load"):
+        cluster.add_analytic_host("an0", mean_load=1.0)
+    with pytest.raises(ValueError, match="period"):
+        cluster.add_analytic_host("an1", mean_load=0.2, period=0.0)
+    with pytest.raises(KeyError):
+        cluster.plane.set_analytic("nope", mean_load=0.1)
+
+
+def test_hog_validation():
+    cluster = Cluster(n_hosts=1, seed=0)
+    with pytest.raises(KeyError):
+        cluster.plane.inject_hogs("nope")
+    with pytest.raises(ValueError, match="analytic"):
+        cluster.plane.inject_hogs("ws1")  # backed row
+    with pytest.raises(KeyError):
+        cluster.plane.clear_hogs("nope")
+
+
+def test_arrays_growth_and_duplicates():
+    arrays = ClusterStateArrays(capacity=2)
+    for i in range(9):
+        assert arrays.add_row(f"h{i}") == i
+    assert len(arrays) == 9
+    assert arrays.host_at(4) == "h4"
+    assert arrays.row_of("h7") == 7
+    assert arrays.row_of("nope") is None
+    with pytest.raises(ValueError, match="already"):
+        arrays.add_row("h3")
+    with pytest.raises(KeyError):
+        arrays.col("no_such_column")
+    assert arrays.col("load1").shape == (9,)
+
+
+def test_scalar_mode_keeps_per_host_samplers():
+    cluster = Cluster(n_hosts=2, seed=0, host_plane="scalar")
+    assert cluster.plane._proc is None
+    for host in cluster:
+        assert host.loadavg._proc is not None
+
+
+def test_auto_mode_single_plane_process():
+    cluster = Cluster(n_hosts=8, seed=0)
+    assert cluster.plane._proc is not None
+    for host in cluster:
+        assert host.loadavg._proc is None
+
+
+# ----------------------------------------------------- mega-cluster smoke
+def test_mega_cluster_smoke_4096_hosts():
+    """The CI-scale smoke: 4096 analytic rows fold and settle within a
+    short run — O(1000s) hosts cost one process, not thousands."""
+    cluster = Cluster(n_hosts=2, seed=13)
+    rng = cluster.rng.stream("smoke-loads")
+    for i in range(3, 4097):
+        cluster.add_analytic_host(
+            f"ws{i}", mean_load=0.05 + 0.5 * float(rng.random()),
+            period=2.0, phase=2.0 * float(rng.random()),
+        )
+    cluster.run(until=120.0)
+    plane = cluster.plane
+    assert plane.arrays.n == 4096
+    assert plane.folds == plane.ticks * 4096
+    load1 = plane.arrays.col("load1")
+    assert np.all(np.isfinite(load1))
+    assert 0.05 < float(np.mean(load1[2:])) < 0.6
+    # 1-minute decay: exp(-5/60) per 5 s tick, the shared constant.
+    assert plane._k1 == math.exp(-5.0 / 60.0)

@@ -119,6 +119,34 @@ def test_recorder_invalid_interval():
         HostRecorder(cluster["ws1"], interval=0)
 
 
+def test_recorder_buffers_and_flushes_on_access():
+    from repro.metrics.recorder import FLUSH_EVERY
+
+    cluster = Cluster(n_hosts=1, seed=0)
+    rec = HostRecorder(cluster["ws1"], interval=10.0)
+    # Fewer samples than FLUSH_EVERY: everything still pending...
+    cluster.run(until=10.0 * (FLUSH_EVERY - 2) + 5.0)
+    assert len(rec._series["loadavg1"]) == 0
+    # ...but __getitem__ flushes that metric before returning it.
+    assert len(rec["loadavg1"]) == FLUSH_EVERY - 2
+    assert len(rec._series["cpu_util"]) == 0  # others untouched
+
+
+def test_recorder_flushes_at_batch_boundary():
+    from repro.metrics.recorder import FLUSH_EVERY
+
+    cluster = Cluster(n_hosts=1, seed=0)
+    rec = HostRecorder(cluster["ws1"], interval=10.0)
+    cluster.run(until=10.0 * (FLUSH_EVERY + 3) + 5.0)
+    # The first FLUSH_EVERY samples flushed themselves in bulk.
+    assert len(rec._series["loadavg1"]) == FLUSH_EVERY
+    series = rec.series  # property flushes every metric
+    assert all(len(s) == FLUSH_EVERY + 3 for s in series.values())
+    # Times stay monotone across the batch boundary.
+    times = series["loadavg1"].times
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
 # -------------------------------------------------------------- reports
 def test_format_table_alignment():
     text = format_table(

@@ -1,0 +1,130 @@
+"""Monitor hub: batched monitoring of the host plane's analytic rows."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, Rescheduler, ReschedulerConfig, policy_2
+from repro.cluster import HostPlaneDivergence
+from repro.monitor.hub import MonitorHub
+from repro.rules import SystemState
+from repro.rules.vector import OVERLOADED
+
+INTERVAL = 10.0
+
+
+def deploy(n_analytic=4, mode="auto", seed=4):
+    cluster = Cluster(n_hosts=2, seed=seed, host_plane=mode)
+    for i in range(n_analytic):
+        cluster.add_analytic_host(
+            f"an{i}", mean_load=0.08 + 0.04 * i, period=2.0,
+            phase=0.3 * i,
+        )
+    rs = Rescheduler(
+        cluster,
+        policy=policy_2(),
+        config=ReschedulerConfig(interval=INTERVAL, sustain=3,
+                                 host_plane=mode),
+    )
+    return cluster, rs
+
+
+def test_hub_owns_analytic_rows_monitors_own_backed():
+    cluster, rs = deploy()
+    assert rs.hub is not None
+    assert rs.hub.hosts == ["an0", "an1", "an2", "an3"]
+    assert set(rs.monitors) == {"ws1", "ws2"}
+    assert set(rs.commanders) == {"ws1", "ws2"}
+
+
+def test_no_hub_without_analytic_rows():
+    cluster = Cluster(n_hosts=3, seed=0)
+    rs = Rescheduler(cluster, policy=policy_2(),
+                     config=ReschedulerConfig())
+    assert rs.hub is None
+
+
+def test_batch_pushes_land_in_registry():
+    cluster, rs = deploy()
+    cluster.run(until=65.0)
+    table = rs.registry.table
+    for name in rs.hub.hosts:
+        rec = table.get(name)
+        # First cycle is due after interval + phase: ≥4 pushes by t=65.
+        assert rec.updates_received >= 4
+        assert rec.state in (SystemState.FREE, SystemState.BUSY)
+        assert rec.metrics["loadavg1"] >= 0.0
+        assert rec.metrics["cpu_idle_pct"] > 0.0
+        assert rec.processes == []
+        assert rec.last_update > 0.0
+        row = table.matrix.row_of(name)
+        col = table.matrix.metric_column("loadavg1")
+        assert col[row] == rec.metrics["loadavg1"]
+    assert rs.hub.core_cycles >= 4 * len(rs.hub.hosts)
+
+
+def test_sustain_delays_overload_and_report_travels_wire():
+    cluster, rs = deploy()
+    table = rs.registry.table
+    observed = []
+
+    def watch(env):
+        yield env.timeout(40.0)
+        cluster.plane.inject_hogs("an1", 3)
+        while True:
+            yield env.timeout(1.0)
+            observed.append((env.now, table.get("an1").state))
+
+    cluster.env.process(watch(cluster.env))
+    cluster.run(until=200.0)
+    overloaded_at = next(
+        t for t, s in observed if s is SystemState.OVERLOADED
+    )
+    # sustain=3: two whole cycles must report demoted (BUSY) first.
+    assert overloaded_at >= 40.0 + 2 * INTERVAL * 0.96
+    assert any(
+        s is SystemState.BUSY
+        for t, s in observed if t < overloaded_at
+    )
+    # The overload went through the real wire into RegistryCore.
+    assert table.get("an1").state is SystemState.OVERLOADED
+
+
+def test_verify_mode_clean_run():
+    cluster, rs = deploy(mode="verify")
+    assert rs.hub.verify
+    cluster.run(until=90.0)
+    assert rs.hub.core_cycles > 0
+
+
+def test_verify_mode_catches_misclassification():
+    cluster, rs = deploy(mode="verify")
+    rs.hub._vector_classify = lambda cols, n: np.full(
+        n, np.int8(OVERLOADED)
+    )
+    with pytest.raises(HostPlaneDivergence, match="diverged"):
+        cluster.run(until=60.0)
+
+
+def test_hub_rejects_empty_and_backed_hosts():
+    cluster, rs = deploy()
+    with pytest.raises(ValueError, match="at least one"):
+        MonitorHub(cluster.plane, [], endpoint_host=None,
+                   directory=None, registry_address="r", table=None)
+    from repro.protocol.transport import EndpointRegistry
+
+    with pytest.raises(ValueError, match="analytic"):
+        MonitorHub(cluster.plane, ["ws1"],
+                   endpoint_host=cluster["ws1"],
+                   directory=EndpointRegistry(),
+                   registry_address="r",
+                   table=rs.registry.table)
+
+
+def test_scalar_config_refuses_analytic_rows():
+    cluster = Cluster(n_hosts=2, seed=0)
+    cluster.add_analytic_host("an0", mean_load=0.1)
+    with pytest.raises(ValueError, match="scalar"):
+        Rescheduler(
+            cluster, policy=policy_2(),
+            config=ReschedulerConfig(host_plane="scalar"),
+        )

@@ -37,6 +37,27 @@ def test_plan_rejects_bad_replicas():
         plan_sweep(["fig5"], replicas=0)
 
 
+def test_plan_rejects_config_keys_no_cell_reads():
+    # The classic typo: "host" for "hosts" — must fail loudly instead
+    # of silently polluting every cache key.
+    with pytest.raises(ValueError, match="host"):
+        plan_sweep(["fig5"], config={"host": 256})
+    with pytest.raises(ValueError, match="valid axes"):
+        plan_sweep(["fig7"], config={"hosts": 256})  # fig7 has no hosts axis
+
+
+def test_plan_accepts_hosts_axis_for_overhead_cells():
+    cells = plan_sweep(["fig5", "fig6"], config={"hosts": 256, **QUICK})
+    assert all(c.config["hosts"] == 256 for c in cells)
+
+
+def test_plan_axis_union_across_experiments():
+    # A key read by ANY planned experiment is accepted for the batch.
+    cells = plan_sweep(["fig5", "fig7"],
+                       config={"hosts": 64, "duration": 80.0})
+    assert len(cells) == 2
+
+
 # ------------------------------------------------- serial ≡ parallel
 def test_parallel_sweep_matches_serial():
     cells = plan_sweep(["fig5"], replicas=2, base_seed=3, config=QUICK)
