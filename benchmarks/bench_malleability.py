@@ -1,0 +1,106 @@
+"""Malleability benchmark: rigid 1:1 migration versus N:M reshaping.
+
+Not a figure from the 2004 paper — this pins the payoff of the
+post-paper N:M reconfiguration pipeline (docs/malleability.md) on the
+storm scenario of ``repro.analysis.malleability``: an ``mc_pi`` world
+starts on two hosts, a CPU-hog storm hits the first one, and the same
+registry runs the scenario twice —
+
+* **rigid** (policy 2): the contended rank can only migrate 1:1, so
+  the job finishes at two-rank throughput;
+* **malleable**: the reshape ladder grows the world onto idle hosts
+  while the efficiency curve clears the floor, shrinking back under
+  severe contention.
+
+The committed gates require the malleable run to finish **>1.3×**
+faster, reach a larger peak world, and still produce a correct π
+estimate in both runs.
+
+``python benchmarks/bench_malleability.py`` regenerates the committed
+``benchmarks/BENCH_malleability.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.analysis.malleability import (
+    DEFAULT_PARAMS,
+    run_malleability_experiment,
+)
+
+from conftest import report
+
+HOSTS = 6
+LOAD_AT = 50.0
+HOGS = 3
+SEED = 0
+
+
+def measure() -> dict:
+    r = run_malleability_experiment(
+        hosts=HOSTS, load_at=LOAD_AT, hogs=HOGS, seed=SEED
+    )
+    grew = [
+        rec for rec in r.malleable.reshapes
+        if rec.get("kind") == "expand" and rec.get("succeeded")
+    ]
+    shrank = [
+        rec for rec in r.malleable.reshapes
+        if rec.get("kind") == "shrink" and rec.get("succeeded")
+    ]
+    return {
+        "rigid_s": round(r.rigid.completed_at, 1),
+        "malleable_s": round(r.malleable.completed_at, 1),
+        "speedup": round(r.speedup, 2),
+        "pi_ok": r.rigid.pi_ok and r.malleable.pi_ok,
+        "peak_world": r.malleable.peak_world,
+        "expands": len(grew),
+        "shrinks": len(shrank),
+        "migrations_rigid": r.rigid.migrations,
+        "moved_bytes": sum(
+            int(rec.get("moved_bytes", 0))
+            for rec in r.malleable.reshapes if rec.get("succeeded")
+        ),
+    }
+
+
+def test_malleability(benchmark, once):
+    r = once(measure)
+    report(benchmark, "Malleable vs rigid rescheduling (storm scenario)", [
+        ("rigid completion s", "-", r["rigid_s"]),
+        ("malleable completion s", "-", r["malleable_s"]),
+        ("speedup ×", ">1.3", r["speedup"]),
+        ("peak world size", ">2", r["peak_world"]),
+        ("successful expands", ">=1", r["expands"]),
+        ("rigid migrations", "-", r["migrations_rigid"]),
+        ("pi estimates ok", "True", r["pi_ok"]),
+    ])
+    assert r["speedup"] > 1.3
+    assert r["peak_world"] > 2
+    assert r["expands"] >= 1
+    assert r["pi_ok"]
+
+
+if __name__ == "__main__":
+    baseline = {
+        "description": "Malleability baseline; regenerate with "
+                       "`python benchmarks/bench_malleability.py`.",
+        "python": sys.version.split()[0],
+        "workload": {
+            "hosts": HOSTS,
+            "load_at": LOAD_AT,
+            "hogs": HOGS,
+            "seed": SEED,
+            "params": DEFAULT_PARAMS,
+        },
+        "results": measure(),
+    }
+    path = os.path.join(os.path.dirname(__file__),
+                        "BENCH_malleability.json")
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(baseline["results"], indent=2))

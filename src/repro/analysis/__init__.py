@@ -7,6 +7,11 @@ from .export import (
     export_series,
     export_table2,
 )
+from .malleability import (
+    MalleabilityResult,
+    MalleabilityRun,
+    run_malleability_experiment,
+)
 from .overhead import OverheadResult, OverheadRun, run_overhead_experiment
 from .policies import (
     DEFAULT_PARAMS,
@@ -19,6 +24,8 @@ from .states import StateRow, run_table1
 __all__ = [
     "DEFAULT_PARAMS",
     "EfficiencyResult",
+    "MalleabilityResult",
+    "MalleabilityRun",
     "OverheadResult",
     "OverheadRun",
     "PolicyRunResult",
@@ -28,6 +35,7 @@ __all__ = [
     "export_series",
     "export_table2",
     "run_efficiency_experiment",
+    "run_malleability_experiment",
     "run_overhead_experiment",
     "run_policy_experiment",
     "run_table1",

@@ -278,7 +278,29 @@ def _sweep(args) -> int:
 
     from .perf import CELLS, ResultCache, plan_sweep, run_sweep
 
+    if args.list_axes:
+        from .perf.experiments import CELL_AXES
+
+        print(format_table(
+            ["experiment", "axes (--set keys)"],
+            [(name, ", ".join(sorted(CELL_AXES[name])))
+             for name in sorted(CELL_AXES)],
+            title="sweep axes",
+        ))
+        return 0
     experiments = args.experiments
+    if not experiments:
+        raise SystemExit(
+            "repro sweep: name at least one experiment "
+            "(or use --list-axes)"
+        )
+    unknown = [e for e in experiments if e != "all" and e not in CELLS]
+    if unknown:
+        raise SystemExit(
+            f"repro sweep: unknown experiment(s) "
+            f"{', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(CELLS))}, all"
+        )
     if "all" in experiments:
         experiments = sorted(CELLS)
     cells = plan_sweep(experiments, replicas=args.replicas,
@@ -495,9 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     from .perf.experiments import CELLS as _sweep_cells
 
-    sweep.add_argument("experiments", nargs="+",
-                       choices=sorted(_sweep_cells) + ["all"],
-                       help="experiments to sweep ('all' for every one)")
+    sweep.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                       help="experiments to sweep: "
+                            f"{', '.join(sorted(_sweep_cells))}, "
+                            "or 'all' for every one")
+    sweep.add_argument("--list-axes", action="store_true",
+                       help="print each cell's valid --set axes and exit")
     sweep.add_argument("--replicas", type=int, default=1,
                        help="replicas per experiment (default 1)")
     sweep.add_argument("--seed", type=int, default=0,

@@ -20,8 +20,8 @@ import os
 import tempfile
 from typing import Any, Optional
 
-from ..hpcm.record import MigrationOrder
-from ..protocol.messages import MigrateCommand
+from ..hpcm.record import MigrationOrder, ReconfigureOrder
+from ..protocol.messages import ExpandCommand, MigrateCommand, ShrinkCommand
 from ..protocol.transport import Endpoint, EndpointRegistry
 from .core import CommandLog, CommanderCore
 
@@ -65,14 +65,14 @@ class Commander:
     def _run(self):
         while not self._stopped:
             msg, sender, ts = yield self.endpoint.recv()
-            if not isinstance(msg, MigrateCommand):
+            if not isinstance(msg, (MigrateCommand, ExpandCommand, ShrinkCommand)):
                 continue
             # Local signal delivery is fast but not free.
             if self.signal_latency > 0:
                 yield self.env.timeout(self.signal_latency)
             self.endpoint.send_and_forget(sender, self.core.command(msg))
 
-    def _deliver(self, msg: MigrateCommand) -> tuple:
+    def _deliver(self, msg: Any) -> tuple:
         """Signal the target process; returns (delivered, detail)."""
         entry = self.host.procs.get(msg.pid)
         if entry is None:
@@ -80,6 +80,8 @@ class Commander:
         runtime = entry.hpcm_runtime
         if runtime is None:
             return False, f"pid {msg.pid} is not migration-enabled"
+        if isinstance(msg, (ExpandCommand, ShrinkCommand)):
+            return self._deliver_reshape(msg, runtime)
         address_file: Optional[str] = None
         if self.use_tempfile:
             fd, address_file = tempfile.mkstemp(
@@ -97,3 +99,26 @@ class Commander:
             )
         )
         return True, ""
+
+    def _deliver_reshape(self, msg: Any, runtime: Any) -> tuple:
+        """Route an expand/shrink order to the process's world."""
+        world = getattr(runtime, "world", None)
+        if world is None:
+            return False, f"pid {msg.pid} is not malleable"
+        if isinstance(msg, ExpandCommand):
+            order = ReconfigureOrder(
+                kind="expand",
+                issued_at=self.env.now,
+                hosts=tuple(msg.dests),
+                reason=msg.reason,
+                decision_seconds=msg.decision_seconds,
+            )
+            return world.request_expand(order)
+        order = ReconfigureOrder(
+            kind="shrink",
+            issued_at=self.env.now,
+            hosts=(self.host.name,),
+            reason=msg.reason,
+            decision_seconds=msg.decision_seconds,
+        )
+        return world.request_shrink(runtime, order)

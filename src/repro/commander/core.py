@@ -1,11 +1,15 @@
 """The commander's delivery contract (paper §3.3) — driver-agnostic.
 
 The commander's job is small but must be identical in every runtime:
-receive a :class:`~repro.protocol.messages.MigrateCommand`, hand it to
-an environment-specific delivery mechanism, record the outcome in the
+receive a command — :class:`~repro.protocol.messages.MigrateCommand`,
+or its N:M generalizations
+:class:`~repro.protocol.messages.ExpandCommand` /
+:class:`~repro.protocol.messages.ShrinkCommand` — hand it to an
+environment-specific delivery mechanism, record the outcome in the
 command log and the trace, and acknowledge to the registry that sent
 it.  *How* the signal reaches the process differs — the simulation
-calls ``HpcmRuntime.request_migration`` on a simulated process table,
+calls ``HpcmRuntime.request_migration`` (or the world's
+``request_expand``/``request_shrink``) on a simulated process table,
 live mode writes the destination to a file and raises a user-defined
 signal — so the driver supplies ``deliver(msg) -> (delivered, detail)``
 and this core does everything around it, with zero simulation-kernel
@@ -17,20 +21,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Tuple
 
-from ..protocol.messages import Ack, MigrateCommand
+from ..protocol.messages import Ack
 from ..trace import get_tracer
 from ..trace.events import EV_COMMANDER_SIGNAL
 
 
+def command_dest(msg: Any) -> str:
+    """One printable destination string for any command shape."""
+    dest = getattr(msg, "dest", None)
+    if dest is None:
+        dest = ",".join(getattr(msg, "dests", ()))
+    return dest
+
+
 @dataclass
 class CommandLog:
-    """One received migrate command, for the experiment logs."""
+    """One received command, for the experiment logs."""
 
     at: float
     pid: int
     dest: str
     delivered: bool
     detail: str = ""
+    #: Wire type: "migrate", "expand" or "shrink".
+    kind: str = "migrate"
 
 
 class CommanderCore:
@@ -40,30 +54,32 @@ class CommanderCore:
         self,
         clock: Any,
         host_name: str,
-        deliver: Callable[[MigrateCommand], Tuple[bool, str]],
+        deliver: Callable[[Any], Tuple[bool, str]],
     ):
         self.clock = clock
         self.host_name = host_name
         self.deliver = deliver
         self.log: List[CommandLog] = []
 
-    def command(self, msg: MigrateCommand) -> Ack:
+    def command(self, msg: Any) -> Ack:
         """Deliver one command; returns the Ack to send back."""
         delivered, detail = self.deliver(msg)
+        dest = command_dest(msg)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
                 EV_COMMANDER_SIGNAL, t=self.clock.now,
-                host=self.host_name, pid=msg.pid, dest=msg.dest,
+                host=self.host_name, pid=msg.pid, dest=dest,
                 delivered=delivered, detail=detail,
             )
         self.log.append(
             CommandLog(
                 at=self.clock.now,
                 pid=msg.pid,
-                dest=msg.dest,
+                dest=dest,
                 delivered=delivered,
                 detail=detail,
+                kind=msg.TYPE,
             )
         )
         return Ack(host=self.host_name, ok=delivered, detail=detail)

@@ -6,6 +6,7 @@ from .policy import (
     MigrationPolicy,
     PAPER_POLICIES,
     load_policy_file,
+    malleable_policy,
     policy_1,
     policy_2,
     policy_3,
@@ -27,6 +28,7 @@ __all__ = [
     "build_timeline",
     "format_timeline",
     "load_policy_file",
+    "malleable_policy",
     "policy_1",
     "policy_2",
     "policy_3",

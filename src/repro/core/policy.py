@@ -80,6 +80,43 @@ class MigrationPolicy:
     dest_conditions: Tuple[MetricPredicate, ...] = ()
     #: Destination-selection strategy name (``registry.strategies``).
     strategy: str = "first_fit"
+    # -- malleability (docs/malleability.md) --------------------------
+    #: Any one firing on an overloaded source ⇒ prefer *growing* the
+    #: victim's world onto ``grow_step`` extra hosts over moving it.
+    grow_triggers: Tuple[MetricPredicate, ...] = ()
+    #: Any one firing on an overloaded source ⇒ prefer *retiring* the
+    #: source's rank (vacate the contended host entirely).  Checked
+    #: before ``grow_triggers``: the shrink thresholds mark the more
+    #: severe condition.
+    shrink_triggers: Tuple[MetricPredicate, ...] = ()
+    #: Hosts requested per Expand decision (the N in N:M).
+    grow_step: int = 1
+    #: Policy-level world bounds, intersected with the application
+    #: schema's own ``min_world``/``max_world``; ``max_world=0`` means
+    #: "no policy cap" (the schema alone rules).  Deliberately *not*
+    #: validated here — ``repro lint`` flags min>max as P107 so a bad
+    #: policy file is a finding, not a stack trace.
+    min_world: int = 1
+    max_world: int = 0
+    #: Expand only while the victim's declared parallel efficiency at
+    #: the grown size stays at or above this floor.
+    min_efficiency: float = 0.0
+
+    @property
+    def malleable(self) -> bool:
+        """Does this policy ever reshape worlds (vs 1:1 migration)?"""
+        return bool(self.grow_triggers or self.shrink_triggers)
+
+    def world_cap(self, schema_max: int) -> int:
+        """Effective max world: the schema cap, tightened by a
+        non-zero policy cap."""
+        if self.max_world:
+            return min(int(schema_max), self.max_world)
+        return int(schema_max)
+
+    def world_floor(self, schema_min: int) -> int:
+        """Effective min world: the looser of the two floors wins."""
+        return max(int(schema_min), self.min_world)
 
     def to_rules(self, base_number: int = 100) -> list:
         """Express the triggers in the paper's rule-file vocabulary.
@@ -148,7 +185,8 @@ def policy_from_dict(d: dict) -> MigrationPolicy:
         d = d["policy"]
     unknown = set(d) - {
         "name", "enabled", "triggers", "source_guards", "dest_conditions",
-        "strategy",
+        "strategy", "grow_triggers", "shrink_triggers", "grow_step",
+        "min_world", "max_world", "min_efficiency",
     }
     if unknown:
         raise ValueError(f"unknown policy keys: {sorted(unknown)}")
@@ -163,6 +201,16 @@ def policy_from_dict(d: dict) -> MigrationPolicy:
             predicate_from_dict(p) for p in d.get("dest_conditions", ())
         ),
         strategy=str(d.get("strategy", "first_fit")),
+        grow_triggers=tuple(
+            predicate_from_dict(p) for p in d.get("grow_triggers", ())
+        ),
+        shrink_triggers=tuple(
+            predicate_from_dict(p) for p in d.get("shrink_triggers", ())
+        ),
+        grow_step=int(d.get("grow_step", 1)),
+        min_world=int(d.get("min_world", 1)),
+        max_world=int(d.get("max_world", 0)),
+        min_efficiency=float(d.get("min_efficiency", 0.0)),
     )
 
 
@@ -174,7 +222,7 @@ def policy_to_dict(policy: MigrationPolicy) -> dict:
             {"metric": p.metric, "op": p.op, "value": p.value} for p in ps
         ]
 
-    return {
+    d = {
         "name": policy.name,
         "enabled": policy.enabled,
         "triggers": preds(policy.triggers),
@@ -182,6 +230,21 @@ def policy_to_dict(policy: MigrationPolicy) -> dict:
         "dest_conditions": preds(policy.dest_conditions),
         "strategy": policy.strategy,
     }
+    # Malleability keys ride only when used, so rigid policy files
+    # round-trip to their historical byte-for-byte JSON form.
+    if policy.grow_triggers:
+        d["grow_triggers"] = preds(policy.grow_triggers)
+    if policy.shrink_triggers:
+        d["shrink_triggers"] = preds(policy.shrink_triggers)
+    if policy.grow_step != 1:
+        d["grow_step"] = policy.grow_step
+    if policy.min_world != 1:
+        d["min_world"] = policy.min_world
+    if policy.max_world != 0:
+        d["max_world"] = policy.max_world
+    if policy.min_efficiency != 0.0:
+        d["min_efficiency"] = policy.min_efficiency
+    return d
 
 
 def load_policy_file(path: str) -> MigrationPolicy:
@@ -229,6 +292,35 @@ def policy_3() -> MigrationPolicy:
         source_guards=(MetricPredicate("comm_mbs", "<=", 5.0),),
         dest_conditions=base.dest_conditions
         + (MetricPredicate("comm_mbs", "<=", 3.0),),
+    )
+
+
+def malleable_policy(
+    grow_at: float = 2.0,
+    shrink_at: float = 4.0,
+    grow_step: int = 1,
+    min_efficiency: float = 0.5,
+    max_world: int = 0,
+) -> MigrationPolicy:
+    """Policy 2 extended with the DMR-style reshape ladder.
+
+    An overloaded source first tries to *shrink* (retire its rank and
+    vacate the host) when contention is severe (load > ``shrink_at``),
+    then to *grow* the world onto ``grow_step`` fresh hosts (load >
+    ``grow_at``), and only then falls back to the paper's 1:1
+    migration.  Not part of the 2004 paper — see docs/malleability.md
+    and docs/paper_mapping.md for the departure.
+    """
+    base = policy_2()
+    return MigrationPolicy(
+        name="malleable",
+        triggers=base.triggers,
+        dest_conditions=base.dest_conditions,
+        grow_triggers=(MetricPredicate("loadavg1", ">", grow_at),),
+        shrink_triggers=(MetricPredicate("loadavg1", ">", shrink_at),),
+        grow_step=grow_step,
+        max_world=max_world,
+        min_efficiency=min_efficiency,
     )
 
 

@@ -16,8 +16,10 @@ from ..commander.commander import Commander
 from ..hpcm.app import MigratableApp
 from ..hpcm.runtime import HpcmRuntime, launch as hpcm_launch
 from ..hpcm.runtime import launch_world as hpcm_launch_world
+from ..hpcm.world import HpcmWorld, launch_malleable_world
 from ..monitor.hub import MonitorHub
 from ..monitor.monitor import DEFAULT_CYCLE_COST, DEFAULT_INTERVAL, Monitor
+from ..monitor.selector import collect_process_info
 from ..mpi.runtime import MpiRuntime
 from ..protocol.transport import EndpointRegistry
 from ..registry.registry import RegistryScheduler
@@ -158,6 +160,13 @@ class Rescheduler:
                 cycle_cost=self.config.cycle_cost,
                 rng=cluster.rng.stream("monitorhub"),
                 verify=(self.config.host_plane == "verify") or None,
+                # Analytic rows still host real process tables here, so
+                # overload reports carry the same victim/world fields a
+                # per-host monitor would send.
+                processes_for=lambda name: [
+                    info.as_dict()
+                    for info in collect_process_info(cluster.host(name))
+                ],
             )
         self.monitors: Dict[str, Monitor] = {}
         self.commanders: Dict[str, Commander] = {}
@@ -182,6 +191,7 @@ class Rescheduler:
                 use_tempfile=self.config.use_tempfile,
             )
         self.apps: List[HpcmRuntime] = []
+        self.worlds: List[HpcmWorld] = []
         if tracer.enabled:
             tracer.event(
                 EV_RESCHEDULER_DEPLOY, t=self.env.now,
@@ -246,13 +256,49 @@ class Rescheduler:
         self.apps.extend(runtimes)
         return runtimes
 
+    def launch_malleable_app(
+        self,
+        app_factory: Callable[[int], MigratableApp],
+        host_names: List[str],
+        params: Optional[dict] = None,
+        **kwargs: Any,
+    ) -> HpcmWorld:
+        """Start a multi-rank application whose world can be reshaped.
+
+        The registry may answer overload on a member host with an
+        ``ExpandCommand``/``ShrinkCommand`` instead of (or before) a
+        1:1 migration; the returned :class:`~repro.hpcm.world.HpcmWorld`
+        records every reshape in ``world.reconfigurations``.
+        """
+        world = launch_malleable_world(
+            self.mpi,
+            app_factory,
+            [self.cluster.host(name) for name in host_names],
+            params=params,
+            rng=self.cluster.rng.stream(f"mpi-app:{len(self.apps)}"),
+            **kwargs,
+        )
+        self.apps.extend(world.runtimes)
+        self.worlds.append(world)
+        return world
+
     # -- observability ----------------------------------------------------
     @property
     def decisions(self) -> list:
         return self.registry.decisions
 
+    @property
+    def reconfigurations(self) -> list:
+        """Registry-side reconfiguration records (N:M decisions)."""
+        return self.registry.reconfigurations
+
     def migration_records(self) -> list:
         return [rec for app in self.apps for rec in app.migrations]
+
+    def reconfiguration_records(self) -> list:
+        """World-side reshape records, across every malleable world."""
+        return [rec for world in self.worlds
+                for rec in world.reconfigurations]
 
     def stop(self) -> None:
         """Stop all entities (monitors unregister on their next tick)."""

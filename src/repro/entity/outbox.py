@@ -31,7 +31,17 @@ Deliver   resolve the pending :class:`Query` waiter for ``req_id`` with
           ``reply`` (emitted when the correlated response arrives)
 Task      run ``gen`` concurrently under ``name`` (a scheduling
           decision, a delegated candidate query, ...)
+Expand    grow an application's world: deliver the wrapped
+          ``ExpandCommand`` to the source host's commander (on the
+          wire this is a send, but the reshape intent is first-class
+          so drivers and traces can tell 1:1 moves from N:M reshapes)
+Shrink    the inverse reshape: deliver the wrapped ``ShrinkCommand``
 ========  ==============================================================
+
+``Expand``/``Shrink`` generalize migration (docs/malleability.md): a
+``MigrateCommand`` ``Send`` is the 1:1 special case of an N:M world
+reshape.  The self-lint's E402 exhaustiveness check forces every
+driver pump to handle them the day they are added here.
 """
 
 from __future__ import annotations
@@ -82,5 +92,21 @@ class Task:
     gen: Generator
 
 
-Effect = Union[Send, Spend, Query, Deliver, Task]
+@dataclass(frozen=True)
+class Expand:
+    """Grow a world: ship the wrapped ExpandCommand to a commander."""
+
+    to: str
+    msg: Any
+
+
+@dataclass(frozen=True)
+class Shrink:
+    """Shrink a world: ship the wrapped ShrinkCommand to a commander."""
+
+    to: str
+    msg: Any
+
+
+Effect = Union[Send, Spend, Query, Deliver, Task, Expand, Shrink]
 Effects = List[Effect]

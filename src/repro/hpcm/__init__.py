@@ -16,8 +16,18 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .context import AppContext
-from .errors import HpcmError, MigrationFailed, StateCaptureError
-from .record import MigrationOrder, MigrationRecord
+from .errors import (
+    HpcmError,
+    MigrationFailed,
+    RepartitionError,
+    StateCaptureError,
+)
+from .record import (
+    MigrationOrder,
+    MigrationRecord,
+    ReconfigRecord,
+    ReconfigureOrder,
+)
 from .runtime import (
     DEFAULT_CHUNKS,
     DEFAULT_RESUME_FRACTION,
@@ -27,6 +37,7 @@ from .runtime import (
     launch_world,
 )
 from .statexfer import capture, chunk, join, restore
+from .world import HpcmWorld, launch_malleable_world
 
 __all__ = [
     "AppContext",
@@ -40,15 +51,20 @@ __all__ = [
     "DEFAULT_SERIALIZE_RATE",
     "HpcmError",
     "HpcmRuntime",
+    "HpcmWorld",
     "MigratableApp",
     "MigrationFailed",
     "MigrationOrder",
     "MigrationRecord",
+    "ReconfigRecord",
+    "ReconfigureOrder",
+    "RepartitionError",
     "StateCaptureError",
     "capture",
     "chunk",
     "join",
     "launch",
+    "launch_malleable_world",
     "launch_world",
     "restore",
 ]

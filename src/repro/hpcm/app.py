@@ -14,14 +14,24 @@ Implementations subclass :class:`MigratableApp`:
   (``yield from ctx.comm.send(...)``) and returns ``True`` while more
   steps remain;
 * :meth:`finalize` extracts the final result from the state.
+
+Malleable applications additionally override :meth:`repartition` —
+merge the per-rank states of an N-rank world and re-split them for M
+ranks — and declare a parallel-efficiency curve
+(:meth:`efficiency_curve`); :meth:`malleable_schema` packages both into
+an :class:`~repro.schema.ApplicationSchema` the registry can reshape
+against.  :meth:`default_schema` stays rigid (``min_world == max_world
+== 1``) so existing 1:1 migration behaviour is untouched.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any
+import dataclasses
+from typing import Any, List
 
 from ..schema import ApplicationSchema
+from .errors import RepartitionError
 
 
 class MigratableApp(abc.ABC):
@@ -49,3 +59,39 @@ class MigratableApp(abc.ABC):
     def default_schema(self) -> ApplicationSchema:
         """Schema used when the caller does not provide one."""
         return ApplicationSchema(name=self.name)
+
+    # -- malleability (N:M reshape) -------------------------------------
+    def repartition(
+        self, states: List[Any], new_size: int, params: dict, rng: Any
+    ) -> List[Any]:
+        """Merge ``len(states)`` per-rank states, re-split for ``new_size``.
+
+        Called at a world-wide poll-point barrier with every live rank's
+        state, in rank order; must return exactly ``new_size`` state
+        objects (survivors keep rank order, fresh ranks append).  Raise
+        :class:`~repro.hpcm.errors.RepartitionError` when the current
+        phase cannot be reshaped — the world then resumes unchanged.
+        """
+        raise RepartitionError(
+            f"application {self.name!r} does not support repartition"
+        )
+
+    def efficiency_curve(self) -> tuple:
+        """Declared parallel efficiency at world sizes 1, 2, 3, …
+
+        Empty (the default) means undeclared: the registry treats every
+        size as perfectly efficient.  Malleable applications return a
+        measured/modelled non-increasing curve.
+        """
+        return ()
+
+    def malleable_schema(
+        self, min_world: int = 1, max_world: int = 8
+    ) -> ApplicationSchema:
+        """The default schema plus this app's reshape envelope."""
+        return dataclasses.replace(
+            self.default_schema(),
+            min_world=min_world,
+            max_world=max_world,
+            efficiency_curve=self.efficiency_curve(),
+        )

@@ -72,3 +72,14 @@ class AppContext:
     @property
     def size(self) -> int:
         return self.comm.size
+
+    @property
+    def world_size(self) -> int:
+        """World size, or 1 for an app launched without an MPI world.
+
+        Unlike :attr:`size` this never raises, so applications can
+        scale per-step behaviour (e.g. shared-I/O contention) whether
+        or not they run multi-rank.
+        """
+        comm = self._rt.comm
+        return comm.size if comm is not None else 1

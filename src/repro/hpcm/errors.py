@@ -14,3 +14,8 @@ class MigrationFailed(HpcmError):
 
 class StateCaptureError(HpcmError):
     """The application state could not be serialized at a poll-point."""
+
+
+class RepartitionError(HpcmError):
+    """A world reshape could not split/merge the application state; the
+    world keeps its old size and every rank resumes unchanged."""

@@ -29,6 +29,71 @@ class MigrationOrder:
 
 
 @dataclass
+class ReconfigureOrder:
+    """The command delivered to a malleable world: grow or shrink.
+
+    ``kind`` is ``"expand"`` (spawn ranks on ``hosts``) or ``"shrink"``
+    (retire the rank on the overloaded host; its state merges into a
+    surviving peer)."""
+
+    kind: str
+    issued_at: float
+    #: Expand: destination hosts for the new ranks.  Shrink: the single
+    #: host whose rank retires.
+    hosts: tuple = ()
+    reason: str = ""
+    decision_seconds: float = 0.0
+
+
+@dataclass
+class ReconfigRecord:
+    """Timing and size breakdown of one N:M world reshape."""
+
+    app: str
+    kind: str
+    old_size: int
+    new_size: int
+    reason: str = ""
+    ordered_at: float = 0.0
+    decision_seconds: float = 0.0
+    #: When the last live rank parked at the reshape barrier.
+    barrier_at: float = 0.0
+    #: When the reshape finished and survivors resumed.
+    completed_at: float = 0.0
+    #: Repartitioned state moved between ranks (pickled size).
+    moved_bytes: int = 0
+    succeeded: bool = False
+    failure: str = ""
+
+    @property
+    def barrier_seconds(self) -> float:
+        return self.barrier_at - self.ordered_at
+
+    @property
+    def reshape_seconds(self) -> float:
+        return self.completed_at - self.barrier_at
+
+    @property
+    def total_seconds(self) -> float:
+        return self.completed_at - self.ordered_at
+
+    def summary(self) -> dict:
+        return {
+            "app": self.app,
+            "kind": self.kind,
+            "old_size": self.old_size,
+            "new_size": self.new_size,
+            "reason": self.reason,
+            "decision_s": self.decision_seconds,
+            "barrier_s": self.barrier_seconds,
+            "reshape_s": self.reshape_seconds,
+            "total_s": self.total_seconds,
+            "moved_bytes": self.moved_bytes,
+            "succeeded": self.succeeded,
+        }
+
+
+@dataclass
 class MigrationRecord:
     """Timing and size breakdown of one migration."""
 

@@ -80,6 +80,9 @@ class HpcmRuntime:
         chunks: int = DEFAULT_CHUNKS,
         resume_fraction: float = DEFAULT_RESUME_FRACTION,
         serialize_rate: float = DEFAULT_SERIALIZE_RATE,
+        world: Any = None,
+        initial_state: Any = None,
+        initial_step: int = 0,
     ):
         if chunks < 1:
             raise ValueError("chunks must be >= 1")
@@ -96,10 +99,18 @@ class HpcmRuntime:
         self.chunks = int(chunks)
         self.resume_fraction = float(resume_fraction)
         self.serialize_rate = float(serialize_rate)
+        #: The :class:`~repro.hpcm.world.HpcmWorld` reshape coordinator,
+        #: or ``None`` for a rigid (1:1-migration-only) process.
+        self.world = world
+        #: A fresh rank joining mid-run starts from a repartitioned
+        #: state instead of ``create_state``.
+        self._initial_state = initial_state
+        self._has_initial_state = initial_state is not None
 
         self.state: Any = None
-        self.step_count = 0
-        self.status = "created"  # created → running → done / failed
+        self.step_count = int(initial_step)
+        # created → running → done / failed / retired (world shrank)
+        self.status = "created"
         self.error: Optional[BaseException] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -178,13 +189,22 @@ class HpcmRuntime:
             tracer.event(EV_APP_START, t=self.env.now,
                          host=self.host.name, app=self.app.name)
         try:
-            self.state = self.app.create_state(self.params, self.rng)
+            if self._has_initial_state:
+                self.state = self._initial_state
+                self._initial_state = None
+            else:
+                self.state = self.app.create_state(self.params, self.rng)
             more = True
             while more:
                 order = self._pending_order
                 if order is not None:
                     self._pending_order = None
                     yield from self._migrate(order)
+                if self.world is not None and self.world.reshape_pending:
+                    directive = yield from self.world.park(self)
+                    if directive == "retire":
+                        self._retire(tracer)
+                        return
                 more = yield from self.app.run_step(self.state, self._ctx)
                 self.step_count += 1
         except BaseException as exc:
@@ -197,6 +217,8 @@ class HpcmRuntime:
                              host=self.host.name, app=self.app.name,
                              status="failed")
             self.process.exit()
+            if self.world is not None:
+                self.world.rank_done(self)
             # Waiters on `done` see the exception; defusing keeps an
             # unobserved failure from aborting the whole simulation.
             self.done.fail(exc)
@@ -215,6 +237,25 @@ class HpcmRuntime:
             cpu_speed=1.0,  # wall time normalized to the reference speed
         )
         self.done.succeed(self.result)
+        self.process.exit()
+        if self.world is not None:
+            self.world.rank_done(self)
+
+    def _retire(self, tracer) -> None:
+        """This rank's world shrank away from under it: exit cleanly.
+
+        The world already merged this rank's state into the survivors
+        and removed the rank from the communicator, so there is no
+        result to produce — waiters on ``done`` get ``None``.
+        """
+        self.status = "retired"
+        self.finished_at = self.env.now
+        self._settle_residency()
+        if tracer.enabled:
+            tracer.event(EV_APP_FINISH, t=self.env.now,
+                         host=self.host.name, app=self.app.name,
+                         status="retired")
+        self.done.succeed(None)
         self.process.exit()
 
     # -- migration ------------------------------------------------------

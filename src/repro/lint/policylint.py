@@ -17,11 +17,22 @@ P103    error      unknown destination-selection strategy
 P104    error      unsatisfiable source guard(s): triggers fire but no
                    migration can ever be allowed
 P106    warning    a trigger can never fire within the metric's domain
+P107    error      malleability bounds are inverted (min_world >
+                   max_world): no world size is ever legal
+P108    error      reshape ambiguity: a grow and a shrink trigger on
+                   the same metric overlap without forming the
+                   escalation ladder (shrink region strictly inside
+                   the grow region) the runtime's shrink-first
+                   ordering assumes, so one status report argues for
+                   both reshapes at once or shadows grow entirely
+P109    error      malleability knobs out of range (grow_step < 1, or
+                   min_efficiency outside [0, 1])
 ======  =========  =====================================================
 
 Malleability studies (DMR; Resource Optimization with MPI Process
 Malleability) single out oscillating reconfiguration as the costliest
-misconfiguration — P101 is the static form of that check.
+misconfiguration — P101 is the static form of that check for 1:1
+migration, P108 the form for N:M reshapes.
 """
 
 from __future__ import annotations
@@ -176,4 +187,54 @@ def lint_policy(
                     f"{trig.metric} at all)"
                 )
             report("P101", f"migration ping-pong: {detail}")
+
+    # -- malleability (docs/malleability.md) --------------------------
+    if policy.max_world and policy.min_world > policy.max_world:
+        report(
+            "P107",
+            f"inverted world bounds: min_world={policy.min_world} > "
+            f"max_world={policy.max_world}, no world size is ever legal",
+        )
+    if policy.malleable:
+        if policy.grow_step < 1:
+            report(
+                "P109",
+                f"grow_step={policy.grow_step} but an Expand must "
+                f"request at least one host",
+            )
+        if not 0.0 <= policy.min_efficiency <= 1.0:
+            report(
+                "P109",
+                f"min_efficiency={policy.min_efficiency:g} lies outside "
+                f"[0, 1], the range of a parallel-efficiency value",
+            )
+    # P108: grow vs shrink triggers on one metric.  The runtime checks
+    # shrink first, so a shrink region *strictly inside* the grow
+    # region is the intended escalation ladder (severe contention ⇒
+    # vacate, moderate ⇒ widen).  Any other overlap is ambiguous: the
+    # regions either coincide/shadow grow entirely (grow can never
+    # fire) or partially cross (one report argues for both reshapes) —
+    # the N:M form of the P101 ping-pong.
+    for grow in policy.grow_triggers:
+        grow_region = _intersect(_interval(grow), _domain(grow.metric))
+        for shrink in policy.shrink_triggers:
+            if grow.metric != shrink.metric:
+                continue
+            shrink_region = _intersect(
+                _interval(shrink), _domain(shrink.metric)
+            )
+            overlap = _intersect(grow_region, shrink_region)
+            if _empty(overlap):
+                continue  # disjoint bands: unambiguous
+            if overlap == shrink_region and shrink_region != grow_region:
+                continue  # ladder: shrink strictly inside grow
+            report(
+                "P108",
+                f"reshape ambiguity: {grow.metric} in "
+                f"{_render(overlap)} satisfies both the grow trigger "
+                f"'{grow}' and the shrink trigger '{shrink}' without "
+                f"forming a shrink-inside-grow escalation ladder; "
+                f"separate or nest the bands so a host argues for one "
+                f"reshape at a time",
+            )
     return diags

@@ -1,4 +1,4 @@
-"""Static analysis of application schemas (diagnostics ``S200``–``S203``).
+"""Static analysis of application schemas (diagnostics ``S200``–``S206``).
 
 The XML application schema (paper §3.3) travels with a migratable
 process; a schema whose resource requirements no host can meet, or
@@ -14,6 +14,11 @@ S202    error      schema declares **zero** poll-points (warning when
                    poll-points are simply undeclared)
 S203    warning    undeclared transfer data: the app is migratable but
                    ``estCommBytes`` is 0, so migration cost is unknown
+S204    warning    the declared parallel-efficiency curve is not
+                   non-increasing: efficiency that *rises* with world
+                   size defeats the registry's min-efficiency guard
+S205    error      efficiency-curve values outside (0, 1]
+S206    error      inverted world bounds (min_world > max_world)
 ======  =========  =====================================================
 
 ``S201`` needs the cluster's host classes; the lint driver collects
@@ -117,5 +122,31 @@ def lint_schema(
             "but estCommBytes is 0, so state-transfer cost is unknown "
             "to the scheduler",
             severity=Severity.WARNING,
+        )
+
+    # -- malleability declaration (docs/malleability.md) --------------
+    curve = schema.efficiency_curve
+    bad = [v for v in curve if not 0.0 < v <= 1.0]
+    if bad:
+        report(
+            "S205",
+            f"efficiency-curve values {[f'{v:g}' for v in bad]} lie "
+            f"outside (0, 1]; parallel efficiency is a fraction of "
+            f"linear speedup",
+        )
+    elif any(b > a for a, b in zip(curve, curve[1:])):
+        report(
+            "S204",
+            "parallel-efficiency curve is not non-increasing: "
+            f"{tuple(f'{v:g}' for v in curve)} — efficiency that rises "
+            "with world size defeats the registry's min-efficiency "
+            "guard (it would always allow one more grow)",
+            severity=Severity.WARNING,
+        )
+    if schema.min_world > schema.max_world:
+        report(
+            "S206",
+            f"inverted world bounds: minWorld={schema.min_world} > "
+            f"maxWorld={schema.max_world}, no world size is ever legal",
         )
     return diags

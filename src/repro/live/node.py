@@ -37,8 +37,10 @@ from ..entity.clock import WallClock
 from ..monitor.core import MonitorCore
 from ..monitor.scripts import SnapshotScriptEngine
 from ..protocol.messages import (
+    ExpandCommand,
     MigrateCommand,
     Register,
+    ShrinkCommand,
     StatusQuery,
     Unregister,
 )
@@ -46,7 +48,7 @@ from ..rules.model import RuleSet, SimpleRule
 from ..trace import get_tracer
 from ..trace.events import EV_LIVE_RESUME, EV_LIVE_SHIP
 from . import proc_sensors
-from .tasks import TASK_TYPES
+from .tasks import TASK_MERGERS, TASK_SPLITTERS, TASK_TYPES
 from .transport import LiveEndpoint
 
 
@@ -62,8 +64,18 @@ class LiveTask:
     done: threading.Event = field(default_factory=threading.Event)
     #: Set to ask the worker to checkpoint at the next poll-point.
     migrate_to: Optional[str] = None
+    #: Set to ask the worker to shard across these nodes (Expand).
+    expand_to: Optional[tuple] = None
+    #: Set to ask the worker to fold into a peer on this node (Shrink).
+    shrink_to: Optional[str] = None
     result: Optional[dict] = None
     hops: int = 0
+    #: Malleability declaration, reported to the registry so its
+    #: grow/shrink triggers see the same fields as the sim's schema.
+    world_size: int = 1
+    min_world: int = 1
+    max_world: int = 1
+    efficiency_curve: tuple = ()
 
 
 def default_ruleset(capacity_threshold: float) -> RuleSet:
@@ -107,6 +119,9 @@ class LiveNode:
         self.completed: list = []
         self.migrations_out = 0
         self.migrations_in = 0
+        self.expands_out = 0
+        self.shrinks_out = 0
+        self.merges_in = 0
         self._lock = threading.Lock()
         #: Serializes MonitorCore cycles: the periodic loop and the
         #: StatusQuery pull path both pump the core.  Ordering is
@@ -162,8 +177,17 @@ class LiveNode:
         return self.monitor.reported_state
 
     def submit(self, task_type: str, state: dict,
-               est_seconds: float = 60.0) -> LiveTask:
-        """Run a checkpointable task on this node."""
+               est_seconds: float = 60.0,
+               world_size: int = 1, min_world: int = 1,
+               max_world: int = 1,
+               efficiency_curve: tuple = ()) -> LiveTask:
+        """Run a checkpointable task on this node.
+
+        ``min_world``/``max_world``/``efficiency_curve`` declare the
+        task malleable (the live analog of the sim's application
+        schema): the registry may then answer overload here with an
+        ``ExpandCommand``/``ShrinkCommand`` instead of a migration.
+        """
         if task_type not in TASK_TYPES:
             raise KeyError(f"unknown task type {task_type!r}")
         task = LiveTask(
@@ -172,6 +196,10 @@ class LiveNode:
             state=state,
             started_at=time.monotonic(),
             est_seconds=est_seconds,
+            world_size=int(world_size),
+            min_world=int(min_world),
+            max_world=int(max_world),
+            efficiency_curve=tuple(efficiency_curve),
         )
         with self._lock:
             self.tasks[task.task_id] = task
@@ -208,25 +236,38 @@ class LiveNode:
         step = TASK_TYPES[task.task_type]
         while not self._stop.is_set():
             more = step(task.state)  # one poll-point per iteration
+            if more and task.shrink_to is not None:
+                self._checkpoint_and_ship(task, task.shrink_to,
+                                          merge=True)
+                return
+            if more and task.expand_to:
+                self._split_and_ship(task)
+                continue
             dest = task.migrate_to
             if dest is not None and more:
                 self._checkpoint_and_ship(task, dest)
                 return
             if not more:
                 with self._lock:
+                    if task.state.get("queue"):
+                        # A merge landed between the final step and
+                        # completion: adopt it instead of finishing.
+                        continue
                     self.tasks.pop(task.task_id, None)
                     task.result = dict(task.state)
                     self.completed.append(task)
                 task.done.set()
                 return
 
-    def _checkpoint_and_ship(self, task: LiveTask, dest: str) -> None:
+    def _checkpoint_and_ship(self, task: LiveTask, dest: str,
+                             merge: bool = False) -> None:
         blob = pickle.dumps(task.state, pickle.HIGHEST_PROTOCOL)
         header = {
             "task_type": task.task_type,
             "est_seconds": task.est_seconds,
             "origin": self.name,
             "hops": task.hops + 1,
+            "merge": merge,
         }
         ok = self.endpoint.send_state(dest, header, blob)
         tracer = get_tracer()
@@ -237,14 +278,61 @@ class LiveNode:
         with self._lock:
             self.tasks.pop(task.task_id, None)
             if ok:
-                self.migrations_out += 1
+                if merge:
+                    self.shrinks_out += 1
+                else:
+                    self.migrations_out += 1
         if not ok:
             # Destination unreachable: resume locally (no loss).
             task.migrate_to = None
+            task.shrink_to = None
             with self._lock:
                 self.tasks[task.task_id] = task
             threading.Thread(target=self._run_task, args=(task,),
                              daemon=True).start()
+
+    def _split_and_ship(self, task: LiveTask) -> None:
+        """Expand: deal the task's remaining work into
+        ``1 + len(dests)`` shards — shard 0 continues here, the rest
+        resume on the destination nodes (the live analog of the sim
+        world's poll-point repartition)."""
+        dests = tuple(task.expand_to or ())
+        task.expand_to = None
+        splitter = TASK_SPLITTERS.get(task.task_type)
+        if splitter is None or not dests:
+            return
+        with self._lock:
+            shards = splitter(task.state, len(dests) + 1)
+            task.state = shards[0]
+            task.world_size += len(dests)
+        tracer = get_tracer()
+        for dest, shard in zip(dests, shards[1:]):
+            blob = pickle.dumps(shard, pickle.HIGHEST_PROTOCOL)
+            header = {
+                "task_type": task.task_type,
+                "est_seconds": task.est_seconds,
+                "origin": self.name,
+                "hops": task.hops + 1,
+                "world": {
+                    "world_size": task.world_size,
+                    "min_world": task.min_world,
+                    "max_world": task.max_world,
+                    "efficiency_curve": tuple(task.efficiency_curve),
+                },
+            }
+            ok = self.endpoint.send_state(dest, header, blob)
+            if tracer.enabled:
+                tracer.event(EV_LIVE_SHIP, t=self._clock.now,
+                             host=self.name, task=task.task_id,
+                             dest=dest, bytes=len(blob), ok=ok)
+            with self._lock:
+                if ok:
+                    self.expands_out += 1
+                else:
+                    # Unreachable destination: fold the shard back in
+                    # at the next poll-point (no loss).
+                    TASK_MERGERS[task.task_type](task.state, shard)
+                    task.world_size -= 1
 
     # -- inbox (commander + migration receiver) ---------------------------
     def _serve_loop(self) -> None:
@@ -255,7 +343,7 @@ class LiveNode:
             kind, payload = item
             if kind == "msg":
                 msg, sender, ts = payload
-                if isinstance(msg, MigrateCommand):
+                if isinstance(msg, (ExpandCommand, MigrateCommand, ShrinkCommand)):
                     ack = self.commander.command(msg)
                     self.endpoint.send_message(sender, ack,
                                                timestamp=time.time())
@@ -268,8 +356,12 @@ class LiveNode:
             elif kind == "state":
                 header, blob = payload
                 state = pickle.loads(blob)
+                if header.get("merge") and self._merge_state(header,
+                                                             state):
+                    continue
                 task = self.submit(header["task_type"], state,
-                                   est_seconds=header["est_seconds"])
+                                   est_seconds=header["est_seconds"],
+                                   **header.get("world", {}))
                 task.hops = header.get("hops", 1)
                 with self._lock:
                     self.migrations_in += 1
@@ -280,13 +372,44 @@ class LiveNode:
                                  origin=header.get("origin", ""),
                                  hops=task.hops)
 
-    def _signal(self, msg: MigrateCommand) -> tuple:
+    def _merge_state(self, header: dict, state: dict) -> bool:
+        """Fold a retiring shard into a running task of its type (the
+        shrink merge context).  Returns False when no peer runs here —
+        the shard then resumes as its own task: a shrink degenerating
+        to a migration, with no work lost either way."""
+        merger = TASK_MERGERS.get(header["task_type"])
+        if merger is None:
+            return False
+        with self._lock:
+            for task in self.tasks.values():
+                if task.task_type == header["task_type"]:
+                    merger(task.state, state)
+                    task.world_size = max(1, task.world_size - 1)
+                    self.merges_in += 1
+                    return True
+        return False
+
+    def _signal(self, msg: Any) -> tuple:
         """The user-defined signal: delivered as a flag the worker acts
         on at its next poll-point.  Returns (delivered, detail)."""
         with self._lock:
             task = self.tasks.get(msg.pid)
         if task is None:
             return False, f"no such task {msg.pid}"
+        if isinstance(msg, ExpandCommand):
+            if task.task_type not in TASK_SPLITTERS:
+                return False, (
+                    f"task type {task.task_type!r} is not splittable"
+                )
+            if not msg.dests:
+                return False, "expand without destinations"
+            task.expand_to = tuple(msg.dests)
+            return True, ""
+        if isinstance(msg, ShrinkCommand):
+            if not msg.dest:
+                return False, "shrink without a merge peer"
+            task.shrink_to = msg.dest
+            return True, ""
         task.migrate_to = msg.dest
         return True, ""
 
@@ -329,6 +452,12 @@ class LiveNode:
                         "start_time": t.started_at,
                         "est_completion": t.started_at + t.est_seconds,
                         "data_locality": 0.0,
+                        "world_size": t.world_size,
+                        "min_world": t.min_world,
+                        "max_world": t.max_world,
+                        "efficiency_curve": ",".join(
+                            repr(float(v)) for v in t.efficiency_curve
+                        ),
                     }
                     for t in self.tasks.values()
                 ]

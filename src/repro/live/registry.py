@@ -26,7 +26,7 @@ import time
 from typing import Any, List, Optional
 
 from ..entity.clock import WallClock
-from ..entity.outbox import Deliver, Query, Send, Spend, Task
+from ..entity.outbox import Deliver, Expand, Query, Send, Shrink, Spend, Task
 from ..registry.core import Decision, RegistryCore
 from ..registry.strategies import first_fit
 from .transport import LiveEndpoint
@@ -108,6 +108,10 @@ class LiveRegistry:
         return self.core.decisions
 
     @property
+    def reconfigurations(self):
+        return self.core.reconfigurations
+
+    @property
     def policy(self):
         return self.core.policy
 
@@ -123,7 +127,10 @@ class LiveRegistry:
     def _perform(self, effects) -> None:
         """Run the synchronous effects of one handled message."""
         for effect in effects:
-            if isinstance(effect, Send):
+            if isinstance(effect, (Send, Expand, Shrink)):
+                # Expand/Shrink are sends with first-class reshape
+                # intent; on the live wire all three are one TCP hop
+                # to the overloaded node (its own commander).
                 self._send(effect.to, effect.msg)
             elif isinstance(effect, Task):
                 threading.Thread(
@@ -151,7 +158,7 @@ class LiveRegistry:
             value = None
             if isinstance(effect, Spend):
                 time.sleep(effect.seconds)
-            elif isinstance(effect, Send):
+            elif isinstance(effect, (Send, Expand, Shrink)):
                 self._send(effect.to, effect.msg)
             elif isinstance(effect, Query):
                 waiter: "queue.Queue" = queue.Queue(maxsize=1)

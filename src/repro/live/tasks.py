@@ -11,12 +11,75 @@ architecture; shipping code identity + data plays that role here).
 ``step(state) -> bool`` performs one chunk of real computation and
 returns True while unfinished.  Between steps (poll-points) the state
 dict is the complete truth.
+
+Malleability (docs/malleability.md) extends the contract with two
+optional registries mirroring the sim's ``repartition`` hook:
+
+* ``TASK_SPLITTERS[type](state, k)`` deals the remaining work into
+  ``k`` complete shard states (an ``ExpandCommand`` keeps shard 0
+  local and ships the rest);
+* ``TASK_MERGERS[type](state, shard)`` folds a retiring shard into a
+  running peer (a ``ShrinkCommand``'s merge context).
+
+Thread-safety rule: a merger runs on the *receiving node's* serve
+thread while the peer's worker thread is mid-step, so it may only
+append the shard to ``state["queue"]`` — never touch keys the step
+mutates.  The step function adopts queued shards (folding their
+accumulators) at its own range boundaries, where it owns the state.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable, Dict, List
+
+
+def _adopt_next_shard(state: dict, fold: Callable[[dict, dict], None]) -> bool:
+    """Pop one queued shard into ``state`` at a range boundary."""
+    queue = state.get("queue")
+    if not queue:
+        return False
+    shard = queue.pop(0)
+    fold(state, shard)
+    state["i"], state["n"] = shard["i"], shard["n"]
+    queue.extend(shard.get("queue") or [])
+    return state["i"] < state["n"] or bool(queue)
+
+
+def _split_range_state(state: dict, k: int, zero: dict) -> List[dict]:
+    """Deal the remaining ``[i, n)`` range into ``k`` shard states.
+
+    Shard 0 keeps the accumulators; the rest start from ``zero`` so
+    the fold at merge/finish time counts every contribution once.
+    Already-queued shards ride along round-robin.
+    """
+    lo, hi = state["i"], state["n"]
+    pending = list(state.get("queue") or [])
+    span = max(0, hi - lo)
+    base, extra = divmod(span, k)
+    shards, start = [], lo
+    for j in range(k):
+        stop = start + base + (1 if j < extra else 0)
+        shard = dict(state)
+        shard["i"], shard["n"] = start, stop
+        shard["queue"] = []
+        if j > 0:
+            shard.update(zero)
+        shards.append(shard)
+        start = stop
+    for j, queued in enumerate(pending):
+        shards[j % k]["queue"].append(queued)
+    return shards
+
+
+def _queue_merge(state: dict, shard: dict) -> None:
+    """Append a retiring shard for adoption at the next poll-point.
+
+    The only merge operation safe against the owner's concurrent
+    step: a single GIL-atomic list append on a key the step never
+    reassigns.
+    """
+    state.setdefault("queue", []).append(shard)
 
 
 def sqrt_sum_step(state: dict) -> bool:
@@ -29,7 +92,17 @@ def sqrt_sum_step(state: dict) -> bool:
         i += 1
     state["i"] = i
     state["acc"] = acc
-    return i < state["n"]
+    if i < state["n"]:
+        return True
+    return _adopt_next_shard(state, _fold_sqrt_sum)
+
+
+def _fold_sqrt_sum(state: dict, shard: dict) -> None:
+    state["acc"] += shard["acc"]
+
+
+def sqrt_sum_split(state: dict, k: int) -> List[dict]:
+    return _split_range_state(state, k, {"acc": 0.0})
 
 
 def sqrt_sum_state(n: int = 2_000_000, chunk: int = 100_000) -> dict:
@@ -54,7 +127,18 @@ def collatz_census_step(state: dict) -> bool:
             best, best_n = length, i
         i += 1
     state.update(i=i, best=best, best_n=best_n)
-    return i < state["n"]
+    if i < state["n"]:
+        return True
+    return _adopt_next_shard(state, _fold_collatz)
+
+
+def _fold_collatz(state: dict, shard: dict) -> None:
+    if shard["best"] > state["best"]:
+        state["best"], state["best_n"] = shard["best"], shard["best_n"]
+
+
+def collatz_census_split(state: dict, k: int) -> List[dict]:
+    return _split_range_state(state, k, {"best": 0, "best_n": 1})
 
 
 def collatz_census_state(n: int = 50_000, chunk: int = 5_000) -> dict:
@@ -66,4 +150,16 @@ def collatz_census_state(n: int = 50_000, chunk: int = 5_000) -> dict:
 TASK_TYPES: Dict[str, Callable[[dict], bool]] = {
     "sqrt_sum": sqrt_sum_step,
     "collatz_census": collatz_census_step,
+}
+
+#: Types an ExpandCommand can shard (state → k shard states).
+TASK_SPLITTERS: Dict[str, Callable[[dict, int], List[dict]]] = {
+    "sqrt_sum": sqrt_sum_split,
+    "collatz_census": collatz_census_split,
+}
+
+#: Types a ShrinkCommand shard can fold into (peer state, shard).
+TASK_MERGERS: Dict[str, Callable[[dict, dict], None]] = {
+    "sqrt_sum": _queue_merge,
+    "collatz_census": _queue_merge,
 }

@@ -105,6 +105,7 @@ class MonitorHub:
         n_levels: int = 3,
         verify: Optional[bool] = None,
         database_max_samples: int = 4,
+        processes_for: Optional[Callable[[str], List[dict]]] = None,
     ):
         if not hosts:
             raise ValueError("hub needs at least one analytic host")
@@ -123,6 +124,13 @@ class MonitorHub:
         self.rng = rng
         self.verify = plane.mode == "verify" if verify is None else verify
         self.cycle_cost = float(cycle_cost)
+        #: Host name → process report dicts for its status updates.
+        #: Analytic rows carry no simulated process table, so by
+        #: default the hub reports none; a deployment that runs apps
+        #: on plane-backed hosts supplies the lookup here so the
+        #: registry's victim selection (and the malleable policy's
+        #: grow/shrink planning) sees them.
+        self.processes_for = processes_for or (lambda host: [])
         self.cycles = 0
         self._stopped = False
 
@@ -255,7 +263,10 @@ class MonitorHub:
             state = SystemState(int(states[j]))
             if self.verify:
                 self._verify_row(idx, snapshot, state)
-            update = core.finish_cycle(None, snapshot, [], state=state)
+            update = core.finish_cycle(
+                None, snapshot, self.processes_for(core.host_name),
+                state=state,
+            )
             if update.state is SystemState.OVERLOADED:
                 overloaded.append(update)
             else:

@@ -5,6 +5,10 @@ time of the process and the application description information
 provided in the application schema ... The registry/scheduler tends to
 migrate a process that has the latest completing time to reduce the
 possibility of migrating multiple processes."
+
+Both the scalar and the column paths rank victims by the shared key in
+:mod:`repro.rules.sortkeys`, so the differential tests compare against
+one definition.
 """
 
 from __future__ import annotations
@@ -13,6 +17,15 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 import numpy as np
+
+from ..rules.sortkeys import victim_lexsort_keys, victim_record_key
+
+
+def _parse_curve(raw) -> tuple:
+    """An efficiency curve off the wire (``"1.0,0.9"``) or in memory."""
+    if isinstance(raw, str):
+        return tuple(float(v) for v in raw.split(",") if v)
+    return tuple(float(v) for v in raw)
 
 
 @dataclass(frozen=True)
@@ -31,6 +44,26 @@ class ProcessInfo:
     min_disk_bytes: int = 0
     min_cpu_speed: float = 0.0
     features: tuple = ()
+    #: Malleability (world) declaration — all defaults mean "rigid
+    #: single process", the paper's shape, and stay off the wire.
+    world_size: int = 1
+    min_world: int = 1
+    max_world: int = 1
+    #: Declared parallel efficiency at world sizes 1..len(curve);
+    #: empty = undeclared (treated as perfectly scalable).
+    efficiency_curve: tuple = ()
+
+    @property
+    def malleable(self) -> bool:
+        """Can this process's world be reshaped at all?"""
+        return self.max_world > max(1, self.min_world) or self.world_size > 1
+
+    def efficiency_at(self, n: int) -> float:
+        """Declared parallel efficiency at world size ``n`` (the last
+        curve point extends rightward; undeclared curves read 1.0)."""
+        if not self.efficiency_curve or n <= 0:
+            return 1.0
+        return float(self.efficiency_curve[min(n, len(self.efficiency_curve)) - 1])
 
     def as_dict(self) -> dict:
         return {
@@ -43,6 +76,12 @@ class ProcessInfo:
             "min_disk_bytes": self.min_disk_bytes,
             "min_cpu_speed": self.min_cpu_speed,
             "features": ",".join(self.features),
+            "world_size": self.world_size,
+            "min_world": self.min_world,
+            "max_world": self.max_world,
+            "efficiency_curve": ",".join(
+                repr(float(v)) for v in self.efficiency_curve
+            ),
         }
 
     @classmethod
@@ -62,6 +101,10 @@ class ProcessInfo:
             min_disk_bytes=int(data.get("min_disk_bytes", 0)),
             min_cpu_speed=float(data.get("min_cpu_speed", 0.0)),
             features=features,
+            world_size=int(data.get("world_size", 1)),
+            min_world=int(data.get("min_world", 1)),
+            max_world=int(data.get("max_world", 1)),
+            efficiency_curve=_parse_curve(data.get("efficiency_curve", ())),
         )
 
 
@@ -82,10 +125,7 @@ def select_victim(
     ]
     if not candidates:
         return None
-    return max(
-        candidates,
-        key=lambda p: (p.est_completion, -p.start_time, -p.pid),
-    )
+    return max(candidates, key=victim_record_key)
 
 
 def select_victim_from_dicts(
@@ -96,10 +136,11 @@ def select_victim_from_dicts(
 
     Builds columns instead of :class:`ProcessInfo` objects — only the
     *chosen* victim is materialized — and picks the winner with one
-    masked lexsort.  The sort keys replicate the scalar ``max`` key
-    ``(est_completion, -start_time, -pid)`` exactly (latest completion;
-    ties to the earlier start, then the lower pid), so both paths
-    return the same victim on every input; the differential gate in
+    masked lexsort.  The sort-key columns come from
+    :func:`repro.rules.sortkeys.victim_lexsort_keys`, the same
+    definition the scalar ``max`` ranks by (latest completion; ties to
+    the earlier start, then the lower pid), so both paths return the
+    same victim on every input; the differential gate in
     ``tests/registry/test_vector_differential.py`` asserts it,
     duplicate keys included.
     """
@@ -117,7 +158,7 @@ def select_victim_from_dicts(
     pid = np.array([int(processes[i]["pid"]) for i in rows])
     # lexsort: last key is primary → est descending, then start
     # ascending, then pid ascending; element 0 is the scalar max.
-    order = np.lexsort((pid, start, -est))
+    order = np.lexsort(victim_lexsort_keys(est, start, pid))
     return ProcessInfo.from_dict(processes[rows[order[0]]])
 
 
@@ -126,18 +167,24 @@ def collect_process_info(host) -> List[ProcessInfo]:
     infos = []
     for entry in host.procs.migratable():
         runtime = entry.hpcm_runtime
-        req = runtime.schema.requirements
+        schema = runtime.schema
+        req = schema.requirements
+        world = getattr(runtime, "world", None)
         infos.append(
             ProcessInfo(
                 pid=entry.pid,
                 name=entry.name,
                 start_time=entry.start_time,
                 est_completion=runtime.estimated_completion(),
-                data_locality=runtime.schema.data_locality,
+                data_locality=schema.data_locality,
                 min_memory_bytes=req.min_memory_bytes,
                 min_disk_bytes=req.min_disk_bytes,
                 min_cpu_speed=req.min_cpu_speed,
                 features=tuple(req.features),
+                world_size=(world.size if world is not None else 1),
+                min_world=schema.min_world,
+                max_world=schema.max_world,
+                efficiency_curve=schema.efficiency_curve,
             )
         )
     return infos

@@ -70,6 +70,31 @@ class CommGroup:
         self._coll_seq[proc.uid] = seq + 1
         return seq
 
+    def add(self, proc: MpiProcess) -> int:
+        """Append a new member at the highest rank (world growth).
+
+        Existing ranks are untouched, so in-flight deliveries and
+        handles stay valid.  Returns the new member's rank.
+        """
+        if proc in self.procs:
+            raise RankError(f"{proc!r} is already a member of {self.label}")
+        self.procs.append(proc)
+        proc.groups.append(self)
+        return len(self.procs) - 1
+
+    def remove(self, proc: MpiProcess) -> int:
+        """Drop a member (world shrink); higher ranks shift down by one.
+
+        Only safe at a world-wide barrier with no in-flight messages
+        addressed to the departing rank.  Returns the vacated rank.
+        """
+        rank = self.rank_of(proc)
+        self.procs.pop(rank)
+        if self in proc.groups:
+            proc.groups.remove(self)
+        self._coll_seq.pop(proc.uid, None)
+        return rank
+
     def replace(self, old: MpiProcess, new: MpiProcess) -> int:
         """Swap the process behind a rank (migration support).
 

@@ -142,6 +142,31 @@ def cell_table2(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def cell_malleability(config: Dict[str, Any],
+                      seed: int) -> Dict[str, Any]:
+    """Malleability — rigid vs N:M reshape (docs/malleability.md)."""
+    from ..analysis import run_malleability_experiment
+
+    kwargs = {
+        key: config[key]
+        for key in (
+            "params", "hosts", "load_at", "hogs", "sustain", "grow_at",
+            "shrink_at", "min_efficiency", "max_duration",
+        )
+        if key in config
+    }
+    r = run_malleability_experiment(seed=seed, **kwargs)
+    return {
+        "rigid_s": r.rigid.completed_at,
+        "malleable_s": r.malleable.completed_at,
+        "speedup": r.speedup,
+        "pi_ok": r.rigid.pi_ok and r.malleable.pi_ok,
+        "peak_world": r.malleable.peak_world,
+        "migrations_rigid": r.rigid.migrations,
+        "reshapes": r.malleable.reshapes,
+    }
+
+
 #: Cell name → runner.  Keys are the ``repro sweep`` experiment names.
 CELLS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, Any]]] = {
     "fig5": cell_fig5,
@@ -149,6 +174,7 @@ CELLS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, Any]]] = {
     "fig7": cell_fig7,
     "fig8": cell_fig8,
     "table2": cell_table2,
+    "malleability": cell_malleability,
 }
 
 #: The config keys each cell actually reads — the valid ``--set`` axes.
@@ -168,6 +194,10 @@ CELL_AXES: Dict[str, frozenset] = {
     "fig8": _EFFICIENCY_AXES,
     "table2": frozenset({"params", "load_at", "hogs", "sustain",
                          "bulk_rate", "ws3_load", "max_duration"}),
+    "malleability": frozenset({
+        "params", "hosts", "load_at", "hogs", "sustain", "grow_at",
+        "shrink_at", "min_efficiency", "max_duration",
+    }),
 }
 
 

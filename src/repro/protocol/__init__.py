@@ -11,10 +11,12 @@ from .messages import (
     Ack,
     CandidateReply,
     CandidateRequest,
+    ExpandCommand,
     MESSAGE_TYPES,
     MigrateCommand,
     ProtocolError,
     Register,
+    ShrinkCommand,
     StatusQuery,
     StatusUpdate,
     Unregister,
@@ -29,10 +31,12 @@ __all__ = [
     "CandidateRequest",
     "Endpoint",
     "EndpointRegistry",
+    "ExpandCommand",
     "MESSAGE_TYPES",
     "MigrateCommand",
     "ProtocolError",
     "Register",
+    "ShrinkCommand",
     "StatusQuery",
     "StatusUpdate",
     "Unregister",

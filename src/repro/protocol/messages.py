@@ -79,7 +79,7 @@ class StatusUpdate:
             features = proc.get("features", ())
             if not isinstance(features, str):
                 features = ",".join(features)
-            ET.SubElement(
+            p = ET.SubElement(
                 procs,
                 "p",
                 pid=str(proc["pid"]),
@@ -92,6 +92,22 @@ class StatusUpdate:
                 minCpu=repr(float(proc.get("min_cpu_speed", 0.0))),
                 features=features,
             )
+            # Malleability (world) attributes ride only when declared:
+            # rigid processes keep the paper's exact message bytes.
+            world = int(proc.get("world_size", 1))
+            wmin = int(proc.get("min_world", 1))
+            wmax = int(proc.get("max_world", 1))
+            curve = proc.get("efficiency_curve", "")
+            if not isinstance(curve, str):
+                curve = ",".join(repr(float(v)) for v in curve)
+            if world != 1:
+                p.set("world", str(world))
+            if wmin != 1:
+                p.set("wmin", str(wmin))
+            if wmax != 1:
+                p.set("wmax", str(wmax))
+            if curve:
+                p.set("eff", curve)
         return elem
 
     @classmethod
@@ -113,6 +129,10 @@ class StatusUpdate:
                     "min_disk_bytes": int(p.get("minDisk", "0")),
                     "min_cpu_speed": float(p.get("minCpu", "0")),
                     "features": p.get("features", ""),
+                    "world_size": int(p.get("world", "1")),
+                    "min_world": int(p.get("wmin", "1")),
+                    "max_world": int(p.get("wmax", "1")),
+                    "efficiency_curve": p.get("eff", ""),
                 })
         return cls(
             host=host,
@@ -247,6 +267,89 @@ class MigrateCommand:
 
 
 @dataclass(frozen=True)
+class ExpandCommand:
+    """Registry → commander: grow ``pid``'s world onto ``dests``.
+
+    The N:M generalization of :class:`MigrateCommand` — the source
+    host keeps its rank, the world repartitions across the union at
+    the next poll-point (docs/malleability.md).
+    """
+
+    host: str  # the source host (the commander's host)
+    pid: int
+    dests: tuple = ()
+    reason: str = ""
+    decision_seconds: float = 0.0
+
+    TYPE = "expand"
+
+    def body(self) -> ET.Element:
+        return ET.Element(
+            "expand",
+            pid=str(self.pid),
+            dests=",".join(self.dests),
+            reason=self.reason,
+            decision=repr(self.decision_seconds),
+        )
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "ExpandCommand":
+        exp = elem.find("expand")
+        if exp is None:
+            raise ProtocolError("expand message without <expand> body")
+        dests = tuple(
+            name for name in exp.get("dests", "").split(",") if name
+        )
+        return cls(
+            host=host,
+            pid=int(exp.get("pid")),
+            dests=dests,
+            reason=exp.get("reason", ""),
+            decision_seconds=float(exp.get("decision", "0")),
+        )
+
+
+@dataclass(frozen=True)
+class ShrinkCommand:
+    """Registry → commander: retire ``pid``'s rank from its world.
+
+    ``dest`` names a surviving peer host (the merge context the state
+    folds into); the world repartitions across the remaining ranks at
+    the next poll-point.
+    """
+
+    host: str  # the source host (the commander's host)
+    pid: int
+    dest: str = ""
+    reason: str = ""
+    decision_seconds: float = 0.0
+
+    TYPE = "shrink"
+
+    def body(self) -> ET.Element:
+        return ET.Element(
+            "shrink",
+            pid=str(self.pid),
+            dest=self.dest,
+            reason=self.reason,
+            decision=repr(self.decision_seconds),
+        )
+
+    @classmethod
+    def from_body(cls, host: str, elem: ET.Element) -> "ShrinkCommand":
+        shr = elem.find("shrink")
+        if shr is None:
+            raise ProtocolError("shrink message without <shrink> body")
+        return cls(
+            host=host,
+            pid=int(shr.get("pid")),
+            dest=shr.get("dest", ""),
+            reason=shr.get("reason", ""),
+            decision_seconds=float(shr.get("decision", "0")),
+        )
+
+
+@dataclass(frozen=True)
 class StatusQuery:
     """Registry → monitor: request an immediate status report.
 
@@ -298,7 +401,8 @@ class Ack:
 MESSAGE_TYPES = {
     cls.TYPE: cls
     for cls in (Register, StatusUpdate, Unregister, CandidateRequest,
-                CandidateReply, MigrateCommand, StatusQuery, Ack)
+                CandidateReply, MigrateCommand, ExpandCommand,
+                ShrinkCommand, StatusQuery, Ack)
 }
 
 

@@ -25,7 +25,18 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from ..entity.outbox import Deliver, Effects, Query, Send, Spend, Task
+import numpy as np
+
+from ..entity.outbox import (
+    Deliver,
+    Effects,
+    Expand,
+    Query,
+    Send,
+    Shrink,
+    Spend,
+    Task,
+)
 from ..monitor.selector import (
     ProcessInfo,
     select_victim,
@@ -35,8 +46,10 @@ from ..protocol.messages import (
     Ack,
     CandidateReply,
     CandidateRequest,
+    ExpandCommand,
     MigrateCommand,
     Register,
+    ShrinkCommand,
     StatusUpdate,
     Unregister,
 )
@@ -118,6 +131,48 @@ class Decision:
                 self.escalated)
 
 
+@dataclass
+class Reconfigure:
+    """An N:M reshape decision — :class:`Decision` generalized.
+
+    ``effect`` is ``"migrate"``, ``"expand"`` or ``"shrink"``; a 1:1
+    migration is the special case with a single destination.  Every
+    decision the core takes lands here (``RegistryCore.
+    reconfigurations``); migrations *additionally* land in the
+    historical ``decisions`` list so existing experiment logs and the
+    golden trace read unchanged.
+    """
+
+    at: float
+    effect: str
+    source: str
+    dests: tuple
+    pid: Optional[int]
+    app: str
+    reason: str
+    decision_seconds: float
+    escalated: bool = False
+
+    def key(self) -> tuple:
+        """Clock-independent identity — what the sim/live parity tests
+        compare for Expand/Shrink exactly as ``Decision.key`` does for
+        migration."""
+        return (self.effect, self.source, self.dests, self.pid,
+                self.reason, self.escalated)
+
+    def as_decision(self) -> Decision:
+        """The 1:1 projection (first destination, if any)."""
+        return Decision(
+            at=self.at,
+            source=self.source,
+            dest=self.dests[0] if self.dests else None,
+            pid=self.pid,
+            reason=self.reason,
+            decision_seconds=self.decision_seconds,
+            escalated=self.escalated,
+        )
+
+
 class RegistryCore:
     """The registry/scheduler's decision brain on one clock."""
 
@@ -167,6 +222,9 @@ class RegistryCore:
         #: see docs/decision_plane.md).
         self.vector_mode = vector_mode
         self.decisions: List[Decision] = []
+        #: Every decision in its N:M form (migrations included);
+        #: Expand/Shrink decisions appear *only* here.
+        self.reconfigurations: List[Reconfigure] = []
         self._last_command: Dict[str, float] = {}
         self._deciding: set = set()
         #: Victims above this schema data-locality weight stay put
@@ -241,6 +299,16 @@ class RegistryCore:
         if self.decision_cost > 0:
             yield Spend(self.decision_cost, label="registry-decide")
         app_name = victim.name
+        # N:M first: a malleable policy may reshape the victim's world
+        # instead of moving it; on no applicable reshape (or no hosts
+        # for one) the decision falls through to the paper's 1:1 path.
+        reshape = self._plan_reshape(update, victim)
+        if reshape is not None:
+            handled = yield from self._decide_reshape(
+                reshape, source, victim, t0, span, tracer
+            )
+            if handled:
+                return
         dest, escalated = yield from self._resolve_destination(
             exclude=(source, self.label), app_name=app_name, hops=0,
             requirements=victim,
@@ -254,6 +322,19 @@ class RegistryCore:
                 source=source,
                 dest=dest,
                 pid=victim.pid,
+                reason=f"{source} overloaded",
+                decision_seconds=decision_seconds,
+                escalated=escalated,
+            )
+        )
+        self.reconfigurations.append(
+            Reconfigure(
+                at=self.clock.now,
+                effect="migrate",
+                source=source,
+                dests=(dest,) if dest is not None else (),
+                pid=victim.pid,
+                app=app_name,
                 reason=f"{source} overloaded",
                 decision_seconds=decision_seconds,
                 escalated=escalated,
@@ -278,6 +359,115 @@ class RegistryCore:
                 decision_seconds=decision_seconds,
             ),
         )
+
+    # -- N:M reshape (docs/malleability.md) -------------------------------
+    def _plan_reshape(self, update: StatusUpdate, victim) -> Optional[str]:
+        """Which reshape, if any, the policy argues for on this report.
+
+        Shrink is checked first — its triggers mark the more severe
+        condition (vacate the contended host entirely); grow widens
+        the world while the declared efficiency at the grown size
+        clears the policy's floor.  Non-malleable victims (world
+        bounds 1..1) always fall through to 1:1 migration.
+        """
+        policy = self.policy
+        if policy is None or not getattr(policy, "enabled", True):
+            return None
+        if not getattr(policy, "malleable", False):
+            return None
+        metrics = update.metrics
+        floor = policy.world_floor(victim.min_world)
+        cap = policy.world_cap(victim.max_world)
+        if (victim.world_size > floor
+                and any(t.holds(metrics)
+                        for t in policy.shrink_triggers)):
+            return "shrink"
+        if (victim.world_size < cap
+                and any(t.holds(metrics) for t in policy.grow_triggers)):
+            grown = min(victim.world_size + max(1, policy.grow_step), cap)
+            if victim.efficiency_at(grown) >= policy.min_efficiency:
+                return "expand"
+        return None
+
+    def _decide_reshape(self, kind: str, source: str, victim,
+                        t0: float, span, tracer):
+        """Issue an Expand/Shrink decision; False ⇒ fall back to 1:1."""
+        policy = self.policy
+        if kind == "shrink":
+            # The retiring rank's state folds into a surviving peer's
+            # world — find one from the soft-state process reports.
+            peer = self._find_world_peer(victim.name, exclude=(source,))
+            if peer is None:
+                return False
+            dests = (peer,)
+            reason = f"{source} overloaded; shrink {victim.name}"
+        else:
+            cap = policy.world_cap(victim.max_world)
+            k = min(max(1, policy.grow_step), cap - victim.world_size)
+            dests = tuple(self._pick_destinations(
+                k, exclude=(source, self.label), requirements=victim,
+            ))
+            if not dests:
+                return False
+            reason = f"{source} overloaded; grow {victim.name}"
+        decision_seconds = self.clock.now - t0
+        wire_dest = f"{kind}:{','.join(dests)}"
+        if span is not None:
+            span.end(t=self.clock.now, dest=wire_dest, escalated=False)
+        self.reconfigurations.append(
+            Reconfigure(
+                at=self.clock.now,
+                effect=kind,
+                source=source,
+                dests=dests,
+                pid=victim.pid,
+                app=victim.name,
+                reason=reason,
+                decision_seconds=decision_seconds,
+            )
+        )
+        self._last_command[source] = self.clock.now
+        if tracer.enabled:
+            tracer.event(
+                EV_REGISTRY_COMMAND, t=self.clock.now, host=source,
+                pid=victim.pid, dest=wire_dest,
+                decision_s=decision_seconds,
+            )
+        if kind == "shrink":
+            yield Shrink(
+                to=self.commander_for(source),
+                msg=ShrinkCommand(
+                    host=source,
+                    pid=victim.pid,
+                    dest=dests[0],
+                    reason=reason,
+                    decision_seconds=decision_seconds,
+                ),
+            )
+        else:
+            yield Expand(
+                to=self.commander_for(source),
+                msg=ExpandCommand(
+                    host=source,
+                    pid=victim.pid,
+                    dests=dests,
+                    reason=reason,
+                    decision_seconds=decision_seconds,
+                ),
+            )
+        return True
+
+    def _find_world_peer(self, app_name: str,
+                         exclude: tuple) -> Optional[str]:
+        """First host (registration order) whose process report names
+        another rank of ``app_name`` — the shrink merge context."""
+        for rec in self.table.records():
+            if rec.host in exclude or "@" in rec.host:
+                continue
+            for proc in rec.processes:
+                if proc.get("name") == app_name:
+                    return rec.host
+        return None
 
     def _select_victim(self, processes: List[dict]):
         """Latest-completion victim, via the column path for big
@@ -368,6 +558,83 @@ class RegistryCore:
             mask &= requirements_mask(matrix, requirements)
         row = vector(matrix, mask, rng=self.rng)
         return matrix.host_at(row) if row is not None else None
+
+    # -- N destinations at once (Expand) ----------------------------------
+    def _pick_destinations(self, k: int, exclude: tuple,
+                           requirements: Any = None) -> List[str]:
+        """Top-``k`` destination hosts in preference order.
+
+        The same eligibility filters as :meth:`_pick_destination`, but
+        the strategy ranks with its ``k`` cutoff — one argsort on the
+        vector plane.  Child-registry records are skipped rather than
+        delegated to: an N:M reshape stays within this registry's
+        domain (see docs/malleability.md).  ``vector_mode="verify"``
+        runs both paths and raises on any list disagreement.
+        """
+        if k <= 0:
+            return []
+        mode = self.vector_mode
+        vector = (None if mode == "scalar"
+                  else VECTOR_STRATEGIES.get(self.strategy))
+        if vector is None:
+            return self._pick_destinations_scalar(k, exclude, requirements)
+        if mode == "verify":
+            rng = self.rng
+            state = (rng.bit_generator.state
+                     if rng is not None
+                     and hasattr(rng, "bit_generator") else None)
+            dests = self._pick_destinations_vector(
+                k, exclude, requirements, vector
+            )
+            if state is not None:
+                rng.bit_generator.state = state
+            oracle = self._pick_destinations_scalar(
+                k, exclude, requirements
+            )
+            if dests != oracle:
+                raise AssertionError(
+                    f"vector destinations {dests!r} != scalar "
+                    f"destinations {oracle!r}"
+                )
+            return dests
+        return self._pick_destinations_vector(
+            k, exclude, requirements, vector
+        )
+
+    def _pick_destinations_scalar(self, k: int, exclude: tuple,
+                                  requirements: Any = None) -> List[str]:
+        """The oracle path: per-record filters + the strategy's k cut."""
+        eligible = [
+            rec for rec in self.table.free_hosts()
+            if rec.host not in exclude
+            and "@" not in rec.host
+            and self._dest_ok(rec)
+            and self._meets_requirements(rec, requirements)
+        ]
+        chosen = self.strategy(eligible, rng=self.rng, k=k)
+        return [rec.host for rec in chosen]
+
+    def _pick_destinations_vector(self, k: int, exclude: tuple,
+                                  requirements: Any,
+                                  vector: Callable) -> List[str]:
+        """Masked top-k column selection over the host-state matrix."""
+        table = self.table
+        matrix = table.matrix
+        mask = table.free_mask()
+        exclude_rows(matrix, mask, exclude)
+        rows = np.flatnonzero(mask)
+        if rows.size:
+            # The vector twin of the scalar "@" skip: child-registry
+            # records are rows too, but not reshape destinations.
+            names = matrix.hosts_array[rows]
+            child = np.char.find(names, "@") >= 0
+            mask[rows[child]] = False
+        if mask.any():
+            mask &= dest_mask(matrix, self.policy)
+        if mask.any():
+            mask &= requirements_mask(matrix, requirements)
+        picked = vector(matrix, mask, rng=self.rng, k=k)
+        return [matrix.host_at(int(row)) for row in picked]
 
     @staticmethod
     def _meets_requirements(record, req: Any) -> bool:

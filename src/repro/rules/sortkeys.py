@@ -1,0 +1,68 @@
+"""The decision plane's canonical sort keys — one definition each.
+
+Two orderings decide *who moves where* and are implemented twice — a
+scalar form (``min``/``max`` over records) and a vectorized form
+(``np.lexsort`` over columns).  Before this module each pair spelled
+its key out independently, so the differential tests were comparing
+two hand-kept copies.  Both paths now read the same definition:
+
+* **best-fit destination order** — ascending ``(loadavg1, host)``:
+  least-loaded eligible host, ties broken on host name
+  (:func:`repro.registry.strategies.best_fit` and its vector twin);
+* **victim order** — the paper §4 pick, descending
+  ``(est_completion, -start_time, -pid)``: latest estimated
+  completion, ties toward the earlier start then the lower pid
+  (:func:`repro.monitor.selector.select_victim` and the column path).
+
+``np.lexsort`` sorts ascending by its *last* key first, so the
+``*_lexsort_keys`` helpers return the key columns pre-arranged (and
+pre-negated where descending order is wanted): element 0 of the
+resulting order is exactly the scalar winner.
+
+This module is a leaf (stdlib only) so every consumer — scalar
+strategies, the vector plane, the victim selector — can import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The metric best-fit ranks on; absent readings count as 0.0 load.
+BEST_FIT_METRIC = "loadavg1"
+
+
+def best_fit_key(load: float, host: str) -> Tuple[float, str]:
+    """Ascending sort key of one destination candidate."""
+    return (load, host)
+
+
+def best_fit_record_key(record) -> Tuple[float, str]:
+    """:func:`best_fit_key` off a soft-state ``HostRecord``."""
+    return best_fit_key(
+        record.metrics.get(BEST_FIT_METRIC, 0.0), record.host
+    )
+
+
+def best_fit_lexsort_keys(load, hosts) -> tuple:
+    """Key columns for ``np.lexsort`` (primary key last): ascending
+    load, then host name."""
+    return (hosts, load)
+
+
+def victim_key(est_completion: float, start_time: float,
+               pid: int) -> Tuple[float, float, int]:
+    """Key whose ``max`` is the migration victim."""
+    return (est_completion, -start_time, -pid)
+
+
+def victim_record_key(proc) -> Tuple[float, float, int]:
+    """:func:`victim_key` off a ``ProcessInfo``-shaped record."""
+    return victim_key(proc.est_completion, proc.start_time, proc.pid)
+
+
+def victim_lexsort_keys(est, start, pid) -> tuple:
+    """Key columns for ``np.lexsort`` such that element 0 of the order
+    is the scalar ``max(victim_key)``: est descending (negated), then
+    start ascending, then pid ascending."""
+    return (pid, start, -est)

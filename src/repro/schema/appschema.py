@@ -86,6 +86,17 @@ class ApplicationSchema:
     #: Declared number of poll-points per run (HPCM can only capture
     #: state at poll-points); ``None`` means the schema does not say.
     poll_points: Optional[int] = None
+    #: Malleability declaration (docs/malleability.md): the world-size
+    #: range this application can repartition across.  The defaults
+    #: (1, 1) declare a rigid application — the 2004 paper's shape —
+    #: and keep the schema XML byte-identical to its historical form.
+    min_world: int = 1
+    max_world: int = 1
+    #: Declared parallel efficiency at world sizes 1..len(curve); the
+    #: last point extends rightward, an empty curve reads as perfectly
+    #: scalable.  Values outside (0, 1] and non-monotone curves are
+    #: *lint* findings (S204/S205), not construction errors.
+    efficiency_curve: tuple = ()
 
     def __post_init__(self):
         if self.est_comm_bytes < 0 or self.est_exec_time < 0:
@@ -96,6 +107,25 @@ class ApplicationSchema:
             raise ValueError("data_locality must lie in [0, 1]")
         if self.poll_points is not None and self.poll_points < 0:
             raise ValueError("poll_points must be non-negative")
+        if self.min_world < 1:
+            raise ValueError("min_world must be at least 1")
+        object.__setattr__(
+            self, "efficiency_curve",
+            tuple(float(v) for v in self.efficiency_curve),
+        )
+
+    # -- malleability ----------------------------------------------------
+    @property
+    def malleable(self) -> bool:
+        """Can this application's world be reshaped at all?"""
+        return self.max_world > self.min_world or self.min_world > 1
+
+    def efficiency_at(self, n: int) -> float:
+        """Declared parallel efficiency at world size ``n`` (the last
+        curve point extends rightward; undeclared curves read 1.0)."""
+        if not self.efficiency_curve or n <= 0:
+            return 1.0
+        return self.efficiency_curve[min(n, len(self.efficiency_curve)) - 1]
 
     # -- estimates ------------------------------------------------------
     def estimated_time_on(self, cpu_speed: float) -> float:
@@ -165,6 +195,16 @@ class ApplicationSchema:
         ET.SubElement(root, "runCount").text = str(self.run_count)
         if self.poll_points is not None:
             ET.SubElement(root, "pollPoints").text = str(self.poll_points)
+        # Malleability elements ride only when declared: rigid schemas
+        # keep the paper's exact XML bytes.
+        if self.min_world != 1:
+            ET.SubElement(root, "minWorld").text = str(self.min_world)
+        if self.max_world != 1:
+            ET.SubElement(root, "maxWorld").text = str(self.max_world)
+        if self.efficiency_curve:
+            ET.SubElement(root, "efficiencyCurve").text = ",".join(
+                repr(v) for v in self.efficiency_curve
+            )
         root.append(self.requirements.to_element())
         return ET.tostring(root, encoding="unicode")
 
@@ -190,6 +230,13 @@ class ApplicationSchema:
                 int(root.findtext("pollPoints"))
                 if root.findtext("pollPoints") is not None
                 else None
+            ),
+            min_world=int(root.findtext("minWorld", "1")),
+            max_world=int(root.findtext("maxWorld", "1")),
+            efficiency_curve=tuple(
+                float(v)
+                for v in root.findtext("efficiencyCurve", "").split(",")
+                if v
             ),
             requirements=(
                 ResourceRequirements.from_element(req_elem)

@@ -45,10 +45,13 @@ EV_HPCM_TRANSFER = "hpcm.transfer"
 EV_HPCM_RESUME = "hpcm.resume"
 EV_HPCM_DRAIN = "hpcm.drain"
 EV_HPCM_MIGRATION = "hpcm.migration"
+EV_HPCM_REPARTITION = "hpcm.repartition"
 
 # -- application lifecycle -----------------------------------------------
 EV_APP_START = "app.start"
 EV_APP_FINISH = "app.finish"
+EV_APP_EXPAND = "app.expand"
+EV_APP_SHRINK = "app.shrink"
 
 # -- live runtime (real sockets; the HPCM analog is a pickled state) -----
 EV_LIVE_SHIP = "live.state_ship"
@@ -151,6 +154,11 @@ EVENTS = {
             ("app", "source", "dest", "succeeded", "failure"),
             "one whole migration, order to completion"),
         EventSpec(
+            EV_HPCM_REPARTITION, "span", "repro.hpcm.world",
+            ("app", "kind", "old_size", "new_size", "bytes",
+             "succeeded", "failure"),
+            "one N:M world reshape: barrier, split/merge, respawn"),
+        EventSpec(
             EV_APP_START, "event", "repro.hpcm.runtime",
             ("app",),
             "managed application started"),
@@ -158,6 +166,14 @@ EVENTS = {
             EV_APP_FINISH, "event", "repro.hpcm.runtime",
             ("app", "status"),
             "managed application finished (done or failed)"),
+        EventSpec(
+            EV_APP_EXPAND, "event", "repro.hpcm.world",
+            ("app", "added", "new_size"),
+            "a world grew: fresh ranks joined at a poll-point"),
+        EventSpec(
+            EV_APP_SHRINK, "event", "repro.hpcm.world",
+            ("app", "removed", "new_size"),
+            "a world shrank: a rank retired at a poll-point"),
         EventSpec(
             EV_LIVE_SHIP, "event", "repro.live.node",
             ("task", "dest", "bytes", "ok"),

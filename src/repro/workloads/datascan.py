@@ -13,14 +13,19 @@ skips it in favour of compute-bound candidates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, List
 
 import numpy as np
 
 from ..hpcm.app import MigratableApp
+from ..hpcm.errors import RepartitionError
 from ..schema import ApplicationSchema, Characteristics
 from ..sim.rng import seeded_generator
+
+#: World size beyond which extra scanners saturate the shared storage
+#: and stop helping (the I/O plateau).
+IO_SATURATION = 4
 
 
 @dataclass
@@ -70,7 +75,10 @@ class DataScanApp(MigratableApp):
         state.digest = int(
             (state.digest + int(records.sum())) % (2**63)
         )
-        yield ctx.compute(chunk / state.scan_rate, label="scan")
+        # Past the saturation point extra ranks contend for the shared
+        # storage: each scan slows by world_size / IO_SATURATION.
+        stretch = max(1.0, ctx.world_size / IO_SATURATION)
+        yield ctx.compute(chunk / state.scan_rate * stretch, label="scan")
         state.offset += chunk
         if state.offset >= state.dataset_bytes:
             state.offset = 0
@@ -86,6 +94,44 @@ class DataScanApp(MigratableApp):
             characteristics=Characteristics.DATA,
             data_locality=0.9,  # heavy local I/O: avoid migrating
         )
+
+    def efficiency_curve(self) -> tuple:
+        # Linear until the shared storage saturates, then a plateau:
+        # n scanners past IO_SATURATION do IO_SATURATION's worth of work.
+        return tuple(
+            round(min(1.0, IO_SATURATION / n), 4) for n in range(1, 9)
+        )
+
+    def repartition(
+        self, states: List[ScanState], new_size: int,
+        params: dict, rng: Any,
+    ) -> List[ScanState]:
+        """Pool the un-scanned bytes, deal them out as single passes."""
+        remaining = sum(
+            (s.passes_total - s.passes_done) * s.dataset_bytes - s.offset
+            for s in states
+        )
+        if remaining < new_size:
+            raise RepartitionError(
+                f"cannot split {remaining} bytes over {new_size} ranks"
+            )
+        digest = sum(s.digest for s in states) % (2**63)
+        base, extra = divmod(remaining, new_size)
+        seed = int(params.get("seed", 0))
+        out: List[ScanState] = []
+        for i in range(new_size):
+            share = base + (1 if i < extra else 0)
+            out.append(replace(
+                states[i] if i < len(states) else states[0],
+                dataset_bytes=share,
+                passes_total=1,
+                passes_done=0,
+                offset=0,
+                digest=digest if i == 0 else 0,
+                rng=(states[i].rng if i < len(states)
+                     else seeded_generator(seed + 10_000 * i + 777)),
+            ))
+        return out
 
     @staticmethod
     def expected_digest(params: dict) -> int:

@@ -8,12 +8,13 @@ job whose other ranks keep computing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, List
 
 import numpy as np
 
 from ..hpcm.app import MigratableApp
+from ..hpcm.errors import RepartitionError
 from ..schema import ApplicationSchema, Characteristics
 from ..sim.rng import seeded_generator
 
@@ -82,3 +83,41 @@ class MonteCarloPiApp(MigratableApp):
             name=self.name,
             characteristics=Characteristics.COMPUTE,
         )
+
+    def efficiency_curve(self) -> tuple:
+        # Embarrassingly parallel: only the final allreduce is shared
+        # work, so efficiency decays ~1% per extra rank.
+        return tuple(round(1.0 - 0.01 * (n - 1), 4) for n in range(1, 9))
+
+    def repartition(
+        self, states: List[PiState], new_size: int,
+        params: dict, rng: Any,
+    ) -> List[PiState]:
+        """Merge the counts, deal the remaining batches out evenly."""
+        if any(s.batches_done >= s.batches_total for s in states):
+            raise RepartitionError("a rank already entered its combine")
+        remaining = sum(s.batches_total - s.batches_done for s in states)
+        if new_size > remaining:
+            raise RepartitionError(
+                f"cannot split {remaining} batches over {new_size} ranks"
+            )
+        base, extra = divmod(remaining, new_size)
+        seed = int(params.get("seed", 0))
+        # All partial counts fold into rank 0 so no sample is lost no
+        # matter which rank later retires; the final allreduce still
+        # sees the global totals.
+        inside = sum(s.inside for s in states)
+        total = sum(s.total for s in states)
+        out: List[PiState] = []
+        for i in range(new_size):
+            share = base + (1 if i < extra else 0)
+            out.append(replace(
+                states[i] if i < len(states) else states[0],
+                batches_total=share,
+                batches_done=0,
+                inside=inside if i == 0 else 0,
+                total=total if i == 0 else 0,
+                rng=(states[i].rng if i < len(states)
+                     else seeded_generator(seed + 10_000 * i + 777)),
+            ))
+        return out

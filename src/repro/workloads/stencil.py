@@ -5,16 +5,24 @@ neighbours every iteration, then applies the 4-point Jacobi update.
 Iterations are poll-points, so any rank can migrate between sweeps;
 the halo exchange keeps working because message routing follows the
 communicator's rank → process mapping.
+
+The stencil is *malleable*: between sweeps the strips concatenate into
+the global interior and re-split into any number of near-equal strips
+(:meth:`StencilApp.repartition`).  Its declared parallel efficiency
+follows the strip decomposition's surface-to-volume ratio — per-rank
+halo traffic is constant while per-rank compute shrinks as 1/n, so
+``eff(n) = V / (V + 2n)`` with ``V`` the compute-to-halo work ratio.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, replace
+from typing import Any, List, Optional
 
 import numpy as np
 
 from ..hpcm.app import MigratableApp
+from ..hpcm.errors import RepartitionError
 from ..schema import ApplicationSchema, Characteristics
 
 _HALO_TAG_UP = 101
@@ -107,3 +115,47 @@ class StencilApp(MigratableApp):
             name=self.name,
             characteristics=Characteristics.COMMUNICATION,
         )
+
+    #: Compute-to-halo work ratio of one strip (surface/volume model).
+    _VOLUME_RATIO = 64.0
+
+    def efficiency_curve(self) -> tuple:
+        return tuple(
+            round(self._VOLUME_RATIO / (self._VOLUME_RATIO + 2.0 * n), 4)
+            for n in range(1, 9)
+        )
+
+    def repartition(
+        self, states: List[StencilState], new_size: int,
+        params: dict, rng: Any,
+    ) -> List[StencilState]:
+        """Concatenate the strips' interiors, re-split near-equally."""
+        iterations = {s.iteration for s in states}
+        if len(iterations) != 1:
+            raise RepartitionError("stencil ranks are out of lockstep")
+        interior = np.concatenate([s.grid[1:-1] for s in states])
+        total_rows = interior.shape[0]
+        if new_size > total_rows:
+            raise RepartitionError(
+                f"cannot split {total_rows} rows over {new_size} ranks"
+            )
+        base, extra = divmod(total_rows, new_size)
+        template = states[0]
+        out: List[StencilState] = []
+        start = 0
+        for i in range(new_size):
+            rows = base + (1 if i < extra else 0)
+            stop = start + rows
+            grid = np.zeros((rows + 2, template.cols))
+            grid[:, 0] = 100.0
+            grid[:, -1] = 100.0
+            grid[1:-1] = interior[start:stop]
+            # Halo rows come from the neighbouring strips' edges; the
+            # outermost halos keep the boundary condition.
+            if start > 0:
+                grid[0] = interior[start - 1]
+            if stop < total_rows:
+                grid[-1] = interior[stop]
+            out.append(replace(template, rows=rows, grid=grid))
+            start = stop
+        return out

@@ -20,14 +20,35 @@ burning wall-clock time; the array arithmetic itself is still executed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, List
 
 import numpy as np
 
 from ..hpcm.app import MigratableApp
+from ..hpcm.errors import RepartitionError
 from ..schema import ApplicationSchema, Characteristics
 from ..sim.rng import seeded_generator
+
+#: Phase progression (used when a reshape hands a rank an empty share).
+_NEXT_PHASE = {"build": "sort", "sort": "sum", "sum": "done"}
+
+
+def _deal(items: list, n: int) -> List[list]:
+    """Split ``items`` into ``n`` contiguous near-equal shares."""
+    base, extra = divmod(len(items), n)
+    shares, start = [], 0
+    for i in range(n):
+        stop = start + base + (1 if i < extra else 0)
+        shares.append(items[start:stop])
+        start = stop
+    return shares
+
+
+def _spread(count: int, n: int) -> List[int]:
+    """Split an integer workload count into ``n`` near-equal parts."""
+    base, extra = divmod(count, n)
+    return [base + (1 if i < extra else 0) for i in range(n)]
 
 
 @dataclass
@@ -77,6 +98,16 @@ class TestTreeApp(MigratableApp):
 
     def run_step(self, state: TreeState, ctx: Any):
         n = state.n_nodes
+        # A reshape can hand a rank an empty share of some phase;
+        # fast-forward through exhausted phases instead of indexing
+        # past the end.  (Unreachable for rigid runs: create_state
+        # requires trees >= 1.)
+        while (state.phase != "done"
+               and state.index >= state.trees_total):
+            state.phase = _NEXT_PHASE[state.phase]
+            state.index = 0
+        if state.phase == "done":
+            return False
         if state.phase == "build":
             # A heap-shaped complete binary tree as a flat array.
             state.trees.append(state.rng.random(n))
@@ -112,6 +143,72 @@ class TestTreeApp(MigratableApp):
             name=self.name,
             characteristics=Characteristics.COMPUTE,
         )
+
+    def efficiency_curve(self) -> tuple:
+        # Trees are independent, but every reshape re-deals whole trees
+        # and the checksums must merge — a small per-rank coordination
+        # tax on top of near-linear scaling.
+        return tuple(
+            round(1.0 / (1.0 + 0.05 * (n - 1)), 4) for n in range(1, 9)
+        )
+
+    def repartition(
+        self, states: List[TreeState], new_size: int,
+        params: dict, rng: Any,
+    ) -> List[TreeState]:
+        """Re-deal whole trees across ranks (same-phase worlds only)."""
+        phases = {s.phase for s in states}
+        if len(phases) != 1:
+            raise RepartitionError("test_tree ranks are out of phase")
+        phase = next(iter(phases))
+        if phase == "done":
+            raise RepartitionError("nothing left to repartition")
+        checksum = float(sum(s.checksum for s in states))
+        seed = int(params.get("seed", 0))
+        if phase == "build":
+            built = [t for s in states for t in s.trees]
+            pending = sum(s.trees_total - s.index for s in states)
+            shares = _deal(built, new_size)
+            extra = _spread(pending, new_size)
+            todo_shares = None
+        elif phase == "sort":
+            done = [t for s in states for t in s.trees[:s.index]]
+            todo = [t for s in states for t in s.trees[s.index:]]
+            shares = _deal(done, new_size)
+            todo_shares = _deal(todo, new_size)
+            extra = None
+        else:  # sum: only the unconsumed trees remain
+            todo = [
+                t for s in states for t in s.trees[s.index:]
+                if t is not None
+            ]
+            shares = _deal(todo, new_size)
+            todo_shares = None
+            extra = None
+        out: List[TreeState] = []
+        for i in range(new_size):
+            trees = list(shares[i])
+            if phase == "build":
+                index = len(trees)
+                total = index + extra[i]
+            elif phase == "sort":
+                index = len(trees)
+                trees = trees + list(todo_shares[i])
+                total = len(trees)
+            else:
+                index = 0
+                total = len(trees)
+            out.append(replace(
+                states[i] if i < len(states) else states[0],
+                phase=phase,
+                index=index,
+                trees_total=total,
+                trees=trees,
+                checksum=checksum if i == 0 else 0.0,
+                rng=(states[i].rng if i < len(states)
+                     else seeded_generator(seed + 10_000 * i + 777)),
+            ))
+        return out
 
     @staticmethod
     def expected_checksum(params: dict) -> float:

@@ -92,3 +92,34 @@ def test_lint_subcommand_wired(tmp_path, capsys):
     )
     assert main(["lint", str(rules)]) == 0
     assert "0 error(s)" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------- sweep
+def test_sweep_list_axes(capsys):
+    assert main(["sweep", "--list-axes"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep axes" in out
+    # Every cell is listed, including the malleability one with its
+    # reshape-ladder knobs.
+    for name in ("fig5", "table2", "malleability"):
+        assert name in out
+    for axis in ("grow_at", "shrink_at", "min_efficiency"):
+        assert axis in out
+
+
+def test_sweep_without_experiments_rejected():
+    with pytest.raises(SystemExit, match="name at least one"):
+        main(["sweep"])
+
+
+def test_sweep_unknown_experiment_rejected():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["sweep", "warp"])
+
+
+def test_sweep_dry_run_plans_malleability_cells(capsys):
+    assert main(["sweep", "malleability", "--dry-run",
+                 "--replicas", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 cells" in out
+    assert out.count("would run") == 2

@@ -1,0 +1,295 @@
+"""Malleable worlds: N:M reshapes at poll-point barriers, aborts."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, CpuHog
+from repro.hpcm import ReconfigureOrder, launch_malleable_world
+from repro.hpcm.app import MigratableApp
+from repro.mpi import MpiRuntime
+from repro.workloads import MonteCarloPiApp
+
+PI_PARAMS = {
+    "batches": 40, "batch_size": 2000, "sample_cost": 1e-4, "seed": 2,
+}
+
+
+def setup(n_hosts=5, **kw):
+    cluster = Cluster(n_hosts=n_hosts, seed=1, **kw)
+    mpi = MpiRuntime(cluster)
+    return cluster, mpi
+
+
+def launch_pi(mpi, cluster, hosts=("ws1", "ws2"), params=PI_PARAMS,
+              **kw):
+    return launch_malleable_world(
+        mpi, MonteCarloPiApp, [cluster[h] for h in hosts],
+        params=dict(params), **kw,
+    )
+
+
+def expand_at(cluster, world, hosts, when, reason="test"):
+    results = {}
+
+    def _issue(env):
+        yield env.timeout(when)
+        results["reply"] = world.request_expand(ReconfigureOrder(
+            kind="expand", issued_at=env.now, hosts=tuple(hosts),
+            reason=reason,
+        ))
+
+    cluster.env.process(_issue(cluster.env))
+    return results
+
+
+def shrink_at(cluster, world, runtime, when, reason="test"):
+    results = {}
+
+    def _issue(env):
+        yield env.timeout(when)
+        results["reply"] = world.request_shrink(runtime, ReconfigureOrder(
+            kind="shrink", issued_at=env.now, hosts=(),
+            reason=reason,
+        ))
+
+    cluster.env.process(_issue(cluster.env))
+    return results
+
+
+def run_world(cluster, world, until=3000.0):
+    cluster.env.run(until=until)
+    assert all(rt.status in ("done", "retired")
+               for rt in world.all_runtimes), [
+        (rt.host.name, rt.status) for rt in world.all_runtimes
+    ]
+    done = [rt for rt in world.all_runtimes if rt.status == "done"]
+    return done
+
+
+def test_world_completes_without_reshape():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    done = run_world(cluster, world)
+    assert len(done) == 2 and world.reconfigurations == []
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)
+
+
+def test_expand_adds_ranks_and_preserves_the_estimate():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    expand_at(cluster, world, ("ws3", "ws4"), when=2.0)
+    done = run_world(cluster, world)
+    assert len(done) == 4
+    (rec,) = world.reconfigurations
+    assert rec.succeeded and rec.kind == "expand"
+    assert rec.old_size == 2 and rec.new_size == 4
+    assert rec.moved_bytes > 0
+    assert rec.ordered_at <= rec.barrier_at <= rec.completed_at
+    # Every rank agrees on the combined estimate, and no sample is lost.
+    estimates = {round(rt.result, 12) for rt in done}
+    assert len(estimates) == 1
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)
+    total = sum(rt.state.total for rt in done)
+    assert total == 2 * PI_PARAMS["batches"] * PI_PARAMS["batch_size"]
+
+
+def test_shrink_retires_the_contended_rank():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster, hosts=("ws1", "ws2", "ws3"))
+    victim = world.runtimes[0]
+    shrink_at(cluster, world, victim, when=2.0)
+    done = run_world(cluster, world)
+    assert victim.status == "retired"
+    assert len(done) == 2
+    (rec,) = world.reconfigurations
+    assert rec.succeeded and rec.kind == "shrink"
+    assert rec.old_size == 3 and rec.new_size == 2
+    # The retiree's partial counts folded into the survivors.
+    total = sum(rt.state.total for rt in done)
+    assert total == 3 * PI_PARAMS["batches"] * PI_PARAMS["batch_size"]
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)
+
+
+def test_expand_then_shrink_round_trip():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    expand_at(cluster, world, ("ws3",), when=2.0)
+
+    def _later(env):
+        yield env.timeout(6.0)
+        world.request_shrink(world.runtimes[0], ReconfigureOrder(
+            kind="shrink", issued_at=env.now,
+        ))
+
+    cluster.env.process(_later(cluster.env))
+    done = run_world(cluster, world)
+    kinds = [rec.kind for rec in world.reconfigurations]
+    assert kinds == ["expand", "shrink"]
+    assert all(rec.succeeded for rec in world.reconfigurations)
+    assert len(done) == 2
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)
+
+
+def test_expand_refused_while_reshape_pending():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    first = expand_at(cluster, world, ("ws3",), when=2.0)
+    second = expand_at(cluster, world, ("ws4",), when=2.0001)
+    run_world(cluster, world)
+    assert first["reply"] == (True, "")
+    ok, detail = second["reply"]
+    assert not ok and "in progress" in detail
+
+
+def test_expand_order_without_hosts_refused():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    reply = expand_at(cluster, world, (), when=2.0)
+    run_world(cluster, world)
+    ok, detail = reply["reply"]
+    assert not ok and "no destination hosts" in detail
+    assert world.reconfigurations == []
+
+
+def test_expand_to_unknown_hosts_aborts_and_resumes():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    reply = expand_at(cluster, world, ("nowhere", "nether"), when=2.0)
+    done = run_world(cluster, world)
+    assert reply["reply"] == (True, "")  # delivered, then aborted
+    (rec,) = world.reconfigurations
+    assert not rec.succeeded
+    assert rec.failure == "no valid destination hosts"
+    assert rec.old_size == rec.new_size == 2
+    assert len(done) == 2  # everyone resumed unchanged
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)
+
+
+def test_shrink_below_one_rank_refused():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster, hosts=("ws1",))
+    reply = shrink_at(cluster, world, world.runtimes[0], when=2.0)
+    run_world(cluster, world)
+    ok, detail = reply["reply"]
+    assert not ok and "below one rank" in detail
+
+
+def test_shrink_of_a_foreign_runtime_refused():
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    other = launch_pi(mpi, cluster, hosts=("ws3", "ws4"))
+    reply = shrink_at(cluster, world, other.runtimes[0], when=2.0)
+    run_world(cluster, world)
+    run_world(cluster, other)
+    ok, detail = reply["reply"]
+    assert not ok and "not a live member" in detail
+
+
+class UnevenApp(MigratableApp):
+    """No final collective: rank 1 finishes long before rank 0, so the
+    world carries a finished rank mid-run (membership frozen)."""
+
+    name = "uneven"
+
+    def __init__(self, rank: int = 0):
+        self.my_rank = rank
+
+    def create_state(self, params: dict, rng):
+        return {"steps": 0, "total": 3 if self.my_rank else 200}
+
+    def run_step(self, state, ctx):
+        yield ctx.compute(0.05, label="uneven-step")
+        state["steps"] += 1
+        return state["steps"] < state["total"]
+
+    def repartition(self, states, new_size, params, rng):
+        return [dict(states[min(i, len(states) - 1)])
+                for i in range(new_size)]
+
+
+def test_reshape_refused_once_a_rank_finished():
+    cluster, mpi = setup()
+    world = launch_malleable_world(
+        mpi, UnevenApp, [cluster["ws1"], cluster["ws2"]], params={},
+    )
+    reply = expand_at(cluster, world, ("ws3",), when=2.0)
+    cluster.env.run(until=60.0)
+    ok, detail = reply["reply"]
+    assert not ok and "finished ranks" in detail
+    assert world.reconfigurations == []
+
+
+class StuckRankApp(MigratableApp):
+    """Rank 1 computes one enormous step: it can never park."""
+
+    name = "stuck"
+
+    def __init__(self, rank: int = 0):
+        self.my_rank = rank
+
+    def create_state(self, params: dict, rng):
+        return {"steps": 0}
+
+    def run_step(self, state, ctx):
+        work = 1e9 if self.my_rank == 1 else 0.05
+        yield ctx.compute(work, label="stuck-step")
+        state["steps"] += 1
+        return state["steps"] < 10_000
+
+    def repartition(self, states, new_size, params, rng):
+        return [dict(s) for s in states][:new_size] + [
+            {"steps": 0} for _ in range(new_size - len(states))
+        ]
+
+
+def test_barrier_timeout_aborts_the_reshape():
+    cluster, mpi = setup()
+    world = launch_malleable_world(
+        mpi, StuckRankApp, [cluster["ws1"], cluster["ws2"]],
+        params={}, barrier_timeout=5.0,
+    )
+    reply = expand_at(cluster, world, ("ws3",), when=1.0)
+    cluster.env.run(until=60.0)
+    assert reply["reply"] == (True, "")
+    (rec,) = world.reconfigurations
+    assert not rec.succeeded
+    assert "barrier timeout" in rec.failure
+    assert rec.completed_at == pytest.approx(6.0)
+    # Rank 0 resumed and keeps stepping after the abort.
+    assert world.runtimes[0].status == "running"
+    assert world.runtimes[0].state["steps"] > 10
+
+
+def test_repartition_refusal_resumes_unchanged():
+    cluster, mpi = setup()
+    params = dict(PI_PARAMS, batches=3)
+    world = launch_pi(mpi, cluster, params=params)
+
+    class _Refuses(MonteCarloPiApp):
+        def repartition(self, states, new_size, params, rng):
+            from repro.hpcm.errors import RepartitionError
+            raise RepartitionError("phase cannot be reshaped")
+
+    world.app_factory = _Refuses
+    for rt in world.runtimes:
+        rt.app = _Refuses(rt.app.my_rank)
+    reply = expand_at(cluster, world, ("ws3",), when=0.05)
+    done = run_world(cluster, world)
+    assert reply["reply"] == (True, "")
+    (rec,) = world.reconfigurations
+    assert not rec.succeeded
+    assert rec.failure.startswith("repartition refused")
+    assert len(done) == 2
+
+
+def test_expand_under_contention_still_correct():
+    """A hogged source host slows the barrier but not correctness."""
+    cluster, mpi = setup()
+    world = launch_pi(mpi, cluster)
+    CpuHog(cluster["ws1"], count=3, name="storm")
+    expand_at(cluster, world, ("ws3", "ws4", "ws5"), when=5.0)
+    done = run_world(cluster, world, until=6000.0)
+    (rec,) = world.reconfigurations
+    assert rec.succeeded and rec.new_size == 5
+    assert done[0].result == pytest.approx(math.pi, abs=0.05)

@@ -102,6 +102,129 @@ def test_disabled_policy_still_checks_strategy():
     assert _codes(lint_policy(policy)) == {"P103"}
 
 
+def test_malleable_paper_policy_is_clean():
+    from repro.core import malleable_policy
+
+    assert lint_policy(malleable_policy()) == []
+
+
+def test_p107_inverted_world_bounds():
+    diags = lint_policy(policy_from_dict({
+        "name": "inverted",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "min_world": 4,
+        "max_world": 2,
+    }))
+    assert _codes(diags) == {"P107"}
+    assert "min_world=4 > max_world=2" in diags[0].message
+
+
+def test_p108_crossed_reshape_bands():
+    # Shrink fires *below* grow: every load above 2.0 argues for both
+    # reshapes without forming the shrink-inside-grow ladder.
+    diags = lint_policy(policy_from_dict({
+        "name": "crossed",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "shrink_triggers": [
+            {"metric": "loadavg1", "op": ">", "value": 1.0}
+        ],
+    }))
+    assert _codes(diags) == {"P108"}
+    assert "ladder" in diags[0].message
+
+
+def test_p108_identical_bands_are_ambiguous():
+    diags = lint_policy(policy_from_dict({
+        "name": "same-band",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "shrink_triggers": [
+            {"metric": "loadavg1", "op": ">", "value": 2.0}
+        ],
+    }))
+    assert _codes(diags) == {"P108"}
+
+
+def test_p108_ladder_and_disjoint_bands_are_clean():
+    ladder = policy_from_dict({
+        "name": "ladder",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "shrink_triggers": [
+            {"metric": "loadavg1", "op": ">", "value": 4.0}
+        ],
+    })
+    assert lint_policy(ladder) == []
+    disjoint = policy_from_dict({
+        "name": "disjoint",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_triggers": [
+            {"metric": "cpu_idle_pct", "op": "<", "value": 20.0}
+        ],
+        "shrink_triggers": [
+            {"metric": "loadavg1", "op": ">", "value": 4.0}
+        ],
+    })
+    assert lint_policy(disjoint) == []
+
+
+def test_p109_bad_malleability_knobs():
+    diags = lint_policy(policy_from_dict({
+        "name": "knobs",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "shrink_triggers": [
+            {"metric": "loadavg1", "op": ">", "value": 4.0}
+        ],
+        "grow_step": 0,
+        "min_efficiency": 1.5,
+    }))
+    assert _codes(diags) == {"P109"}
+    assert len(diags) == 2  # one per bad knob
+
+
+def test_p109_skipped_for_rigid_policies():
+    # grow_step is inert without reshape triggers; don't nag about it.
+    policy = policy_from_dict({
+        "name": "rigid",
+        "triggers": [{"metric": "loadavg1", "op": ">", "value": 2.0}],
+        "dest_conditions": [
+            {"metric": "loadavg1", "op": "<", "value": 1.0}
+        ],
+        "grow_step": 0,
+    })
+    assert lint_policy(policy) == []
+
+
+def test_malleable_policy_round_trip():
+    from repro.core import malleable_policy, policy_to_dict
+
+    policy = malleable_policy(grow_at=1.5, shrink_at=3.5, grow_step=2,
+                              min_efficiency=0.6, max_world=8)
+    d = policy_to_dict(policy)
+    assert d["grow_step"] == 2 and d["max_world"] == 8
+    assert policy_from_dict(d) == policy
+
+
 def test_policy_round_trip():
     from repro.core import policy_to_dict
 

@@ -85,6 +85,62 @@ def test_s203_not_raised_for_non_migratable():
     assert _codes(diags) == {"S202"}
 
 
+def test_s204_rising_efficiency_curve_is_warning():
+    diags = lint_schema(
+        _schema(min_world=1, max_world=4,
+                efficiency_curve=(1.0, 0.8, 0.9)),
+        CLASSES,
+    )
+    assert _codes(diags) == {"S204"}
+    (d,) = diags
+    assert d.severity is Severity.WARNING
+    assert "non-increasing" in d.message
+
+
+def test_s205_efficiency_values_out_of_range():
+    diags = lint_schema(
+        _schema(min_world=1, max_world=4,
+                efficiency_curve=(1.0, 0.0, 1.2)),
+        CLASSES,
+    )
+    assert _codes(diags) == {"S205"}
+    assert "'0'" in diags[0].message and "'1.2'" in diags[0].message
+
+
+def test_s205_shadows_s204():
+    # An out-of-range value makes monotonicity analysis meaningless.
+    diags = lint_schema(
+        _schema(min_world=1, max_world=4,
+                efficiency_curve=(0.5, 1.2)),
+        CLASSES,
+    )
+    assert _codes(diags) == {"S205"}
+
+
+def test_s206_inverted_world_bounds():
+    diags = lint_schema(_schema(min_world=4, max_world=2), CLASSES)
+    assert _codes(diags) == {"S206"}
+    assert "minWorld=4 > maxWorld=2" in diags[0].message
+
+
+def test_clean_malleable_schema():
+    schema = _schema(min_world=1, max_world=8,
+                     efficiency_curve=(1.0, 0.9, 0.8, 0.7))
+    assert lint_schema(schema, CLASSES) == []
+
+
+def test_malleability_xml_round_trip():
+    schema = _schema(min_world=2, max_world=8,
+                     efficiency_curve=(1.0, 0.9, 0.75))
+    again = ApplicationSchema.from_xml(schema.to_xml())
+    assert again.min_world == 2
+    assert again.max_world == 8
+    assert again.efficiency_curve == (1.0, 0.9, 0.75)
+    assert again.malleable
+    rigid = ApplicationSchema.from_xml(_schema().to_xml())
+    assert not rigid.malleable
+
+
 def test_poll_points_xml_round_trip():
     schema = _schema()
     again = ApplicationSchema.from_xml(schema.to_xml())

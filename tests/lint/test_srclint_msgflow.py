@@ -138,13 +138,13 @@ def test_src_tree_message_flow_is_clean():
 #: of them must fail the self-lint (the M804 "proven live" criterion).
 _DRIVER_HANDLERS = [
     (os.path.join("live", "node.py"),
-     "isinstance(msg, MigrateCommand)"),
+     "isinstance(msg, (ExpandCommand, MigrateCommand, ShrinkCommand))"),
     (os.path.join("live", "node.py"),
      "isinstance(msg, StatusQuery)"),
     (os.path.join("monitor", "monitor.py"),
      "isinstance(msg, StatusQuery)"),
     (os.path.join("commander", "commander.py"),
-     "isinstance(msg, MigrateCommand)"),
+     "isinstance(msg, (MigrateCommand, ExpandCommand, ShrinkCommand))"),
 ]
 
 

@@ -105,5 +105,5 @@ def test_real_tree_trace_discipline_is_clean():
         c for c in (find_event_catalogue(m) for m in modules) if c
     ]
     assert len(catalogues) == 1
-    assert len(catalogues[0].kinds) == 24
+    assert len(catalogues[0].kinds) == 27
     assert lint_trace_discipline(modules) == []

@@ -159,3 +159,121 @@ def test_live_decisions_match_script():
 def test_sim_and_live_runtimes_decide_identically():
     """The headline parity assertion: identical decision sequences."""
     assert run_sim() == run_live()
+
+
+# -- N:M parity: Expand/Shrink flow through both drivers identically ----
+
+def make_malleable_policy():
+    return MigrationPolicy(
+        name="parity-malleable",
+        dest_conditions=(MetricPredicate("loadavg1", "<", 1.0),),
+        grow_triggers=(MetricPredicate("loadavg1", ">", 2.0),),
+        shrink_triggers=(MetricPredicate("loadavg1", ">", 4.0),),
+    )
+
+
+def world_proc(pid, world_size=2):
+    return ProcessInfo(
+        pid=pid, name="mc_pi", start_time=0.0, est_completion=900.0,
+        world_size=world_size, min_world=1, max_world=8,
+        efficiency_curve=(1.0, 0.95, 0.9, 0.85),
+    ).as_dict()
+
+
+def reshape_script():
+    return [
+        ("ws2", SystemState.FREE, {"loadavg1": 0.3}, [], None),
+        # ws3 also hosts a rank of the world: the shrink merge peer.
+        ("ws3", SystemState.FREE, {"loadavg1": 0.4},
+         [world_proc(pid=202)], None),
+        # Moderate overload → grow onto the one free host.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 3.0},
+         [world_proc(pid=101)], 1),
+        # Inside the cooldown: suppressed entirely.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 5.0},
+         [world_proc(pid=101)], None),
+        # Past the cooldown, severe → shrink onto the ws3 peer.
+        ("ws1", SystemState.OVERLOADED, {"loadavg1": 5.0},
+         [world_proc(pid=101, world_size=3)], 2),
+    ]
+
+
+def normalize_reshapes(reconfigurations, names):
+    def logical(host):
+        return names.get(host, host)
+
+    return [
+        (r.effect, logical(r.source), tuple(logical(d) for d in r.dests),
+         r.pid, r.escalated)
+        for r in reconfigurations
+    ]
+
+
+RESHAPE_EXPECTED = [
+    ("expand", "ws1", ("ws2",), 101, False),
+    ("shrink", "ws1", ("ws3",), 101, False),
+]
+
+
+def run_sim_reshapes():
+    cluster = Cluster(n_hosts=4, seed=0)
+    directory = EndpointRegistry()
+    registry = RegistryScheduler(
+        cluster["ws4"], directory, policy=make_malleable_policy(),
+        command_cooldown=1.0,
+    )
+    fake = Endpoint(cluster["ws1"], directory, name="monitor")
+    Endpoint(cluster["ws1"], directory, name="commander")
+
+    def sender(env):
+        for host, state, metrics, processes, _ in reshape_script():
+            yield env.timeout(0.6)
+            fake.send_and_forget(
+                registry.address,
+                StatusUpdate(host=host, state=state, metrics=metrics,
+                             processes=processes),
+            )
+
+    cluster.env.process(sender(cluster.env))
+    cluster.run(until=30)
+    return normalize_reshapes(registry.reconfigurations, {})
+
+
+def run_live_reshapes():
+    registry = LiveRegistry(policy=make_malleable_policy(), lease=30.0,
+                            command_cooldown=1.0)
+    endpoints = {name: LiveEndpoint(name)
+                 for name in ("ws1", "ws2", "ws3", "ws4")}
+    names = {ep.address: name for name, ep in endpoints.items()}
+    sender = endpoints["ws1"]
+    try:
+        for host, state, metrics, processes, barrier in reshape_script():
+            time.sleep(0.6)
+            update = StatusUpdate(
+                host=endpoints[host].address, state=state,
+                metrics=metrics, processes=processes,
+            )
+            sender.send_message(registry.address, update,
+                                timestamp=time.time())
+            if barrier is not None:
+                assert wait_for(
+                    lambda: len(registry.reconfigurations) >= barrier
+                ), f"no reshape decision after {host} overload"
+        return normalize_reshapes(registry.reconfigurations, names)
+    finally:
+        for ep in endpoints.values():
+            ep.close()
+        registry.stop()
+
+
+def test_sim_reshape_decisions_match_script():
+    assert run_sim_reshapes() == RESHAPE_EXPECTED
+
+
+def test_live_reshape_decisions_match_script():
+    assert run_live_reshapes() == RESHAPE_EXPECTED
+
+
+def test_sim_and_live_reshape_identically():
+    """Expand/Shrink parity: the N:M form of the headline assertion."""
+    assert run_sim_reshapes() == run_live_reshapes()

@@ -128,3 +128,44 @@ def test_scalar_config_refuses_analytic_rows():
             cluster, policy=policy_2(),
             config=ReschedulerConfig(host_plane="scalar"),
         )
+
+
+def test_hog_overload_drives_decision_migration_and_recovery():
+    """The full autonomic loop over an analytic row: inject_hogs →
+    hub classifies OVERLOADED (after sustain) → the registry decides
+    against the victim report supplied by ``processes_for`` → the
+    commander migrates the app off the row → clear_hogs → the row
+    recovers.  Previously only the fold/classify halves were covered."""
+    from repro.commander import Commander
+    from repro.workloads import TestTreeApp
+
+    cluster, rs = deploy()
+    # Analytic rows get no commander by default; give the victim row
+    # one so the registry's MigrateCommand has somewhere to land.
+    Commander(cluster.host("an1"), rs.directory)
+    params = {"levels": 10, "trees": 40, "node_cost": 2e-3, "seed": 1}
+    app = rs.launch_app(TestTreeApp(), "an1", params=params)
+
+    def drive(env):
+        yield env.timeout(30.0)
+        cluster.plane.inject_hogs("an1", 3)
+        yield env.timeout(120.0)
+        cluster.plane.clear_hogs("an1")
+
+    cluster.env.process(drive(cluster.env))
+    cluster.env.run(until=app.done)
+    # The overload became a decision sourced at the analytic row, which
+    # proves the victim report travelled through processes_for (the
+    # no-process sustain test above never produces one).
+    decision = next(d for d in rs.decisions if d.source == "an1")
+    assert decision.dest in ("ws1", "ws2")
+    assert app.migration_count >= 1
+    assert app.host.name == decision.dest
+    assert app.result == pytest.approx(
+        TestTreeApp.expected_checksum(params)
+    )
+    # After clear_hogs the row reports its way back below overload.
+    cluster.env.run(until=cluster.env.now + 60.0)
+    assert rs.registry.table.get("an1").state in (
+        SystemState.FREE, SystemState.BUSY,
+    )
