@@ -19,13 +19,15 @@ from .diagnostics import (
     sort_diagnostics,
     summarize,
 )
+from .catalog import CODE_DETAILS, KNOWN_CODES
 from .policylint import METRIC_DOMAINS, lint_policy
 from .rulelint import SCRIPT_DOMAINS, lint_rule_text, lint_ruleset
 from .runner import LintUsageError, classify_file, collect_files, lint_paths
 from .schemalint import HostClass, lint_schema
-from .srclint import KNOWN_CODES, lint_sources
+from .srclint import lint_sources
 
 __all__ = [
+    "CODE_DETAILS",
     "Diagnostic",
     "HostClass",
     "JSON_REPORT_VERSION",

@@ -140,19 +140,38 @@ _SARIF_LEVELS = {
 
 def render_sarif(diags: Sequence[Diagnostic]) -> str:
     """The code-scanning reporter: a SARIF 2.1.0 document GitHub (and
-    any SARIF viewer) can ingest.  One run, one rule per distinct
-    code, one result per finding."""
+    any SARIF viewer) can ingest.  One run, one rule per *registered*
+    code (description, default level and catalogue link from
+    :mod:`.catalog`, findings or not), one result per finding."""
+    from .catalog import (
+        KNOWN_CODES,
+        default_severity,
+        help_uri,
+        short_description,
+    )
+
     diags = sort_diagnostics(diags)
     rules = []
-    for code in sorted({d.code for d in diags}):
-        level = _SARIF_LEVELS[max(
-            (d.severity for d in diags if d.code == code),
-            key=lambda s: s.rank,
-        )]
-        rules.append({
-            "id": code,
-            "defaultConfiguration": {"level": level},
-        })
+    for code in sorted(KNOWN_CODES | {d.code for d in diags}):
+        if code in KNOWN_CODES:
+            level = _SARIF_LEVELS[Severity(default_severity(code))]
+            rules.append({
+                "id": code,
+                "shortDescription": {"text": short_description(code)},
+                "helpUri": help_uri(code),
+                "defaultConfiguration": {"level": level},
+            })
+        else:
+            # Unregistered code in the findings (should be caught by
+            # X902 first): still a valid rule entry.
+            level = _SARIF_LEVELS[max(
+                (d.severity for d in diags if d.code == code),
+                key=lambda s: s.rank,
+            )]
+            rules.append({
+                "id": code,
+                "defaultConfiguration": {"level": level},
+            })
     results = []
     for d in diags:
         result = {

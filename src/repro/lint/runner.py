@@ -19,7 +19,8 @@ Python sources (``*.py``) route to the source-contract passes in
 everything else (docs, CSVs, …) is skipped.  Driver-level problems use
 the ``Lxxx`` codes: ``L001`` unreadable file, ``L002`` invalid JSON,
 ``L003`` nothing lintable found, ``L004`` unparsable Python source,
-``L005`` suppression naming an unknown code.
+``L005`` suppression naming an unknown code, ``L006`` a
+``--select``/``--ignore`` prefix matching no known code.
 
 Overlapping path arguments (``repro lint examples examples/configs``)
 and symlinks to already-visited files are deduplicated by real path,
@@ -35,6 +36,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.policy import policy_from_dict
 from ..schema import ApplicationSchema
+from .catalog import KNOWN_CODES
 from .diagnostics import (
     Diagnostic,
     Severity,
@@ -154,6 +156,28 @@ def _parse_code_prefixes(
     return prefixes or None
 
 
+def _unknown_prefix_diags(
+    prefixes: Optional[Tuple[str, ...]], option: str
+) -> List[Diagnostic]:
+    """L006: a filter prefix no registered code starts with is a typo
+    that would otherwise produce a silently-green (or silently-full)
+    run — ``--select V90`` when the codes are V901–V905 must fail
+    loudly, not report nothing."""
+    diags: List[Diagnostic] = []
+    for prefix in prefixes or ():
+        if any(code.startswith(prefix) for code in KNOWN_CODES):
+            continue
+        diags.append(Diagnostic(
+            code="L006", severity=Severity.ERROR,
+            message=(
+                f"{option} prefix {prefix!r} matches no known "
+                "diagnostic code"
+            ),
+            obj=prefix,
+        ))
+    return diags
+
+
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
@@ -229,11 +253,14 @@ def lint_paths(
         from .srclint import lint_sources
 
         diags.extend(lint_sources(pysources, jobs=jobs))
+    select_prefixes = _parse_code_prefixes(select)
+    ignore_prefixes = _parse_code_prefixes(ignore)
     diags = filter_codes(
-        diags,
-        select=_parse_code_prefixes(select),
-        ignore=_parse_code_prefixes(ignore),
+        diags, select=select_prefixes, ignore=ignore_prefixes,
     )
+    # After the filter, so the typo cannot filter itself out.
+    diags.extend(_unknown_prefix_diags(select_prefixes, "--select"))
+    diags.extend(_unknown_prefix_diags(ignore_prefixes, "--ignore"))
     return sort_diagnostics(diags)
 
 

@@ -25,15 +25,28 @@ lint run:
   (:mod:`.concurrency`).
 * **M800** — message-flow analyzer over the send→handler graph
   (:mod:`.msgflow`): the static twin of the decision-parity tests.
+
+PR 10 adds the parity-and-drift layer:
+
+* **V900** — twin-path parity over the mirrored scalar/vector
+  decision-plane contracts (:mod:`.parity`, whole-project: V905
+  splits effect pumps by runtime the way M804 splits handlers).
+* **X900** — cross-artifact drift between code and its codecs, docs,
+  benchmark baselines and fixtures (:mod:`.drift`).
+
+The full code vocabulary lives in :mod:`repro.lint.catalog`; X902
+keeps it and the ``docs/linting.md`` tables pointing at each other.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from ..catalog import KNOWN_CODES
 from ..diagnostics import Diagnostic
 from .concurrency import lint_concurrency
 from .determinism import in_sim_scope, lint_determinism
+from .drift import lint_drift
 from .effects import lint_effects
 from .model import (
     ProjectModel,
@@ -43,47 +56,23 @@ from .model import (
     suppression_warnings,
 )
 from .msgflow import lint_message_flow
+from .parity import lint_parity
 from .tracedisc import lint_trace_discipline
 from .wire import lint_wire_protocol
-
-#: Every code any ``repro lint`` pass can emit — config passes, the
-#: driver, and the source passes.  Suppressions are validated against
-#: this set (L005).
-KNOWN_CODES = frozenset({
-    # driver
-    "L001", "L002", "L003", "L004", "L005",
-    # rule files
-    "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-    "R010", "R011",
-    # policies
-    "P100", "P101", "P102", "P103", "P104", "P106",
-    # schemas
-    "S200", "S201", "S202", "S203",
-    # determinism
-    "D301", "D302", "D303", "D304", "D305", "D306",
-    # effects
-    "E401", "E402", "E403", "E404",
-    # trace discipline
-    "T501", "T502", "T503", "T504", "T505",
-    # wire protocol
-    "W601", "W602", "W603", "W604",
-    # concurrency
-    "C701", "C702", "C703", "C704", "C705",
-    # message flow
-    "M801", "M802", "M803", "M804",
-})
 
 _PASSES = (
     lint_determinism,
     lint_effects,
     lint_trace_discipline,
     lint_wire_protocol,
+    lint_drift,
 )
 
 #: Passes that consume the whole-project model (import edges).
 _PROJECT_PASSES = (
     lint_concurrency,
     lint_message_flow,
+    lint_parity,
 )
 
 
@@ -126,8 +115,10 @@ __all__ = [
     "in_sim_scope",
     "lint_concurrency",
     "lint_determinism",
+    "lint_drift",
     "lint_effects",
     "lint_message_flow",
+    "lint_parity",
     "lint_sources",
     "lint_trace_discipline",
     "lint_wire_protocol",

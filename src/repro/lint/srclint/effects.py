@@ -36,6 +36,7 @@ from ..diagnostics import Diagnostic, Severity
 from .model import (
     PyModule,
     imports_from,
+    is_dataclass_def,
     isinstance_targets,
     module_basename,
 )
@@ -81,16 +82,6 @@ def _union_member_names(value: ast.AST) -> Optional[Set[str]]:
     return None
 
 
-def _is_dataclass(node: ast.ClassDef) -> bool:
-    for deco in node.decorator_list:
-        target = deco.func if isinstance(deco, ast.Call) else deco
-        if isinstance(target, ast.Name) and target.id == "dataclass":
-            return True
-        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
-            return True
-    return False
-
-
 def find_effect_contract(module: PyModule) -> Optional[EffectContract]:
     union_names: Optional[Set[str]] = None
     union_lineno = 0
@@ -108,7 +99,7 @@ def find_effect_contract(module: PyModule) -> Optional[EffectContract]:
         if isinstance(n, ast.ClassDef)
     }
     dataclasses = {
-        name for name, node in classes.items() if _is_dataclass(node)
+        name for name, node in classes.items() if is_dataclass_def(node)
     }
     effects = union_names & set(classes)
     if len(effects) < 2:

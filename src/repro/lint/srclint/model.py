@@ -226,6 +226,34 @@ def top_level_classes(module: PyModule) -> List[ast.ClassDef]:
     return [n for n in module.tree.body if isinstance(n, ast.ClassDef)]
 
 
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """True when the class carries a ``@dataclass`` decorator (bare,
+    called, or ``dataclasses.dataclass`` attribute form).
+
+    Shared by the effect-contract discovery (E400), the config-surface
+    check (V904) and the codec-pairing check (X901)."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def dataclass_fields(node: ast.ClassDef) -> Dict[str, int]:
+    """Annotated field name → line number, in declaration order.
+
+    Dunder/ClassVar-style plumbing is the caller's concern; this is
+    the raw ``name: type`` surface of the class body."""
+    fields: Dict[str, int] = {}
+    for stmt in node.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
 def module_basename(module: PyModule) -> str:
     name = module.path.replace("\\", "/").rsplit("/", 1)[-1]
     return name[:-3] if name.endswith(".py") else name

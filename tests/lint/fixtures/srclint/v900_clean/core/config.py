@@ -1,0 +1,18 @@
+"""The verify-capable knob threaded through the config surface."""
+
+from dataclasses import dataclass
+
+PLANE_MODES = ("auto", "scalar", "verify")
+
+
+@dataclass
+class PlaneConfig:
+    plane_mode: str = "auto"
+
+
+def resolve_mode(plane_mode="auto"):
+    if plane_mode not in PLANE_MODES:
+        raise ValueError(
+            f"plane_mode must be one of {PLANE_MODES}, got {plane_mode!r}"
+        )
+    return plane_mode

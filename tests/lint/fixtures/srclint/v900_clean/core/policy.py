@@ -1,0 +1,3 @@
+"""The policy-side metric vocabulary."""
+
+KNOWN_METRICS = frozenset({"loadavg1", "mem_free", "cpu_idle_pct"})

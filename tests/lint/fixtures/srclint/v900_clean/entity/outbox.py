@@ -1,0 +1,17 @@
+"""The effect vocabulary both runtimes pump."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass
+class Send:
+    payload: str
+
+
+@dataclass
+class Grow:
+    hosts: int
+
+
+Effect = Union[Send, Grow]

@@ -1,0 +1,12 @@
+"""Live-side pump: performs the full effect vocabulary."""
+
+from ..entity.outbox import Grow, Send
+
+
+class LivePump:
+    def perform(self, effect):
+        if isinstance(effect, Send):
+            return "send"
+        if isinstance(effect, Grow):
+            return "grow"
+        return None

@@ -1,0 +1,11 @@
+"""A monitor script map agreeing with the column engine."""
+
+
+class ScriptEngine:
+    def __init__(self):
+        self._handlers = {
+            "loadAvg.sh": None,
+            "memInfo.sh": None,
+            "procCount.sh": None,
+            "diskUsage.sh": None,
+        }

@@ -1,0 +1,13 @@
+"""Selection orderings routed through the sortkeys contract."""
+
+import numpy as np
+
+from ..rules.sortkeys import victim_lexsort_keys, victim_record_key
+
+
+def pick(matrix, procs):
+    order = np.lexsort(
+        victim_lexsort_keys(matrix.est, matrix.start, matrix.pid)
+    )
+    worst = max(procs, key=victim_record_key)
+    return order, worst

@@ -1,0 +1,28 @@
+"""Strategy registry with the full scalar/vector twin map."""
+
+
+def first_fit(records):
+    return records[0]
+
+
+def best_fit(records):
+    return min(records)
+
+
+def vector_first_fit(matrix):
+    return 0
+
+
+def vector_best_fit(matrix):
+    return 1
+
+
+STRATEGIES = {
+    "first_fit": first_fit,
+    "best_fit": best_fit,
+}
+
+VECTOR_STRATEGIES = {
+    first_fit: vector_first_fit,
+    best_fit: vector_best_fit,
+}

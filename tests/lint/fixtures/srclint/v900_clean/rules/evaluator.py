@@ -1,0 +1,9 @@
+"""Paired scalar/vector classification twins."""
+
+
+def classify_scalar(state):
+    return "free"
+
+
+def classify_vector(matrix):
+    return ["free"]

@@ -1,0 +1,18 @@
+"""A verify-capable mode knob missing from the config surface (V904)."""
+
+from dataclasses import dataclass
+
+RUN_MODES = ("auto", "scalar", "verify")
+
+
+@dataclass
+class RunnerConfig:
+    jobs: int = 1
+
+
+def resolve_mode(run_mode="auto"):
+    if run_mode not in RUN_MODES:
+        raise ValueError(
+            f"run_mode must be one of {RUN_MODES}, got {run_mode!r}"
+        )
+    return run_mode

@@ -1,0 +1,3 @@
+"""The policy-side metric vocabulary (V902's other half)."""
+
+KNOWN_METRICS = frozenset({"loadavg1", "mem_free", "cpu_idle_pct"})

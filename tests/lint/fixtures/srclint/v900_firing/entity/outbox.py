@@ -1,0 +1,17 @@
+"""The effect vocabulary both runtimes must pump (the V905 anchor)."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass
+class Send:
+    payload: str
+
+
+@dataclass
+class Expand:
+    hosts: int
+
+
+Effect = Union[Send, Expand]

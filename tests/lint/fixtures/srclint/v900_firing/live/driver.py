@@ -1,0 +1,10 @@
+"""Live-side pump whose Expand dispatch was deleted (V905)."""
+
+from ..entity.outbox import Expand, Send
+
+
+class LivePump:
+    def perform(self, effect):
+        if isinstance(effect, Send):
+            return "send"
+        return None

@@ -1,0 +1,10 @@
+"""A monitor script map that disagrees with the column engine (V902)."""
+
+
+class ScriptEngine:
+    def __init__(self):
+        self._handlers = {
+            "loadAvg.sh": None,
+            "memInfo.sh": None,
+            "diskUsage.sh": None,
+        }

@@ -1,0 +1,12 @@
+"""Inline orderings instead of the sortkeys contract (V903)."""
+
+import numpy as np
+
+from ..rules.sortkeys import victim_record_key
+
+
+def pick(matrix, procs):
+    order = np.lexsort((matrix.pid, matrix.start))
+    ranked = sorted(procs, key=lambda p: (p.est, p.start))
+    worst = max(procs, key=victim_record_key)
+    return order, ranked, worst

@@ -1,0 +1,12 @@
+"""Sim-side pump: performs the full effect vocabulary."""
+
+from ..entity.outbox import Expand, Send
+
+
+class SimPump:
+    def perform(self, effect):
+        if isinstance(effect, Send):
+            return "send"
+        if isinstance(effect, Expand):
+            return "expand"
+        return None

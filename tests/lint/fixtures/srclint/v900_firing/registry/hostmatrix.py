@@ -1,0 +1,13 @@
+"""Column order missing a policy metric, script map short one (V902)."""
+
+METRIC_COLUMNS = ("loadavg1", "mem_free")
+
+_SCRIPT_METRICS = {
+    "loadAvg.sh": 0,
+    "memInfo.sh": 1,
+    "procCount.sh": 2,
+}
+
+
+def column_of(script):
+    return _SCRIPT_METRICS[script]

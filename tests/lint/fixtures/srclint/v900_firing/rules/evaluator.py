@@ -1,0 +1,5 @@
+"""A suffix twin whose sibling was deleted (V901b)."""
+
+
+def classify_scalar(state):
+    return "free"

@@ -1,0 +1,13 @@
+"""The shared sort-key contract module (the V903 anchor)."""
+
+
+def victim_key(est, start, pid):
+    return (est, -start, -pid)
+
+
+def victim_record_key(record):
+    return victim_key(record.est, record.start, record.pid)
+
+
+def victim_lexsort_keys(est, start, pid):
+    return (pid, start, est)

@@ -1,0 +1,3 @@
+"""Fixture benchmark script: writes the one committed baseline."""
+
+BASELINES = ("BENCH_grid.json",)

@@ -1,0 +1,13 @@
+"""A CLI whose surface is fully documented."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command")
+    run = sub.add_parser("run")
+    run.add_argument("--seed", type=int, default=0)
+    trace = sub.add_parser("trace")
+    trace.add_argument("--json", action="store_true")
+    return parser

@@ -1,0 +1,14 @@
+"""A diagnostic-code registry fully mirrored by its docs."""
+
+CODE_DETAILS = {
+    "A101": ("error", "alpha check one"),
+    "A102": ("error", "alpha check two"),
+    "A103": ("error", "alpha check three"),
+    "A104": ("warning", "alpha check four"),
+    "A105": ("warning", "alpha check five"),
+    "A106": ("info", "alpha check six"),
+    "A107": ("error", "alpha check seven"),
+    "A108": ("error", "alpha check eight"),
+    "B201": ("warning", "beta check one"),
+    "B202": ("warning", "beta check two"),
+}

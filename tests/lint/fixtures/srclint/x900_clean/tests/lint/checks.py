@@ -1,0 +1,1 @@
+"""Fixture test corpus: reads fixtures/srclint/used_case."""

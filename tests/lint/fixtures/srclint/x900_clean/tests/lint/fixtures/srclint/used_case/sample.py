@@ -1,0 +1,1 @@
+"""A referenced fixture module."""

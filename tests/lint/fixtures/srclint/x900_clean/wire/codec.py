@@ -1,0 +1,22 @@
+"""A codec pair covering every dataclass field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Packet:
+    kind: str
+    size: int
+    flags: int
+
+    def to_dict(self):
+        return {"kind": self.kind, "size": self.size,
+                "flags": self.flags}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            kind=data["kind"],
+            size=int(data.get("size", 0)),
+            flags=int(data.get("flags", 0)),
+        )

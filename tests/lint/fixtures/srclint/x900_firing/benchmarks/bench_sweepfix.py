@@ -1,0 +1,3 @@
+"""Fixture benchmark script: writes two of the three baselines."""
+
+BASELINES = ("BENCH_real.json", "BENCH_uninventoried.json")

@@ -1,0 +1,13 @@
+"""A CLI with an undocumented subcommand and flag (X904)."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command")
+    run = sub.add_parser("run")
+    run.add_argument("--seed", type=int, default=0)
+    ghost = sub.add_parser("ghost")
+    ghost.add_argument("--phantom", action="store_true")
+    return parser

@@ -1,0 +1,1 @@
+"""Fixture test corpus that references no fixture directory (X905)."""

@@ -1,0 +1,1 @@
+"""An unreferenced fixture module."""

@@ -1,0 +1,21 @@
+"""A codec pair that dropped a field on the encode side (X901)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Packet:
+    kind: str
+    size: int
+    flags: int
+
+    def to_dict(self):
+        return {"kind": self.kind, "size": self.size}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            kind=data["kind"],
+            size=int(data.get("size", 0)),
+            flags=int(data.get("flags", 0)),
+        )

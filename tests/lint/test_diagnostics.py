@@ -3,8 +3,10 @@
 import json
 
 from repro.lint import (
+    CODE_DETAILS,
     Diagnostic,
     JSON_REPORT_VERSION,
+    KNOWN_CODES,
     Severity,
     exit_code,
     render_json,
@@ -90,10 +92,35 @@ def test_render_sarif_structure():
     assert doc["version"] == "2.1.0"
     run = doc["runs"][0]
     assert run["tool"]["driver"]["name"] == "repro-lint"
-    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
-        "C701", "R001",
-    ]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    # The rules array is the full registered catalogue (findings or
+    # not), sorted; the finding codes are of course among them.
+    assert rule_ids == sorted(KNOWN_CODES)
+    assert {"C701", "R001"} <= set(rule_ids)
     assert len(run["results"]) == 2
+
+
+def test_render_sarif_rules_carry_catalog_metadata():
+    # Every registered code appears exactly once, with its catalogue
+    # description, severity level and docs link.
+    doc = json.loads(render_sarif([]))
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    ids = [r["id"] for r in rules]
+    assert ids == sorted(KNOWN_CODES)
+    assert len(ids) == len(set(ids))  # exactly once each
+    levels = {"error": "error", "warning": "warning", "info": "note"}
+    for rule in rules:
+        severity, description = CODE_DETAILS[rule["id"]]
+        assert rule["shortDescription"]["text"] == description
+        assert rule["helpUri"].startswith("docs/linting.md#")
+        assert rule["defaultConfiguration"]["level"] == levels[severity]
+
+
+def test_render_sarif_unregistered_code_still_renders():
+    doc = json.loads(render_sarif([_diag(code="Z999")]))
+    run = doc["runs"][0]
+    assert "Z999" in [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert run["results"][0]["ruleId"] == "Z999"
 
 
 def test_render_sarif_levels_and_location():
@@ -122,4 +149,7 @@ def test_render_sarif_without_location():
 def test_render_sarif_empty_run_is_valid():
     doc = json.loads(render_sarif([]))
     assert doc["runs"][0]["results"] == []
-    assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+    # The rule metadata is always present — a clean run still uploads
+    # the full catalogue.
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(KNOWN_CODES)

@@ -1,0 +1,167 @@
+"""V900 twin-path parity: the decision plane's mirrored contracts.
+
+Fixture-driven checks for V901–V905, the silence guards, and the
+acceptance claim that matters most: deleting a vector twin, a metric
+column, a config knob or a live effect dispatch must each flip the
+self-lint red.
+"""
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.lint import collect_files, lint_paths
+from repro.lint.srclint import lint_sources
+from repro.lint.srclint.model import parse_sources
+from repro.lint.srclint.parity import lint_parity
+
+
+def _fixture(name):
+    return os.path.join(os.path.dirname(__file__), "fixtures",
+                        "srclint", name)
+
+
+def _repo_root():
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(__file__)))
+
+
+# ------------------------------------------------------------ fixtures
+def test_firing_fixture_raises_every_code():
+    diags = lint_paths([_fixture("v900_firing")], select=["V9"])
+    assert Counter(d.code for d in diags) == {
+        "V901": 5, "V902": 3, "V903": 2, "V904": 1, "V905": 1,
+    }
+
+
+def test_v901_names_every_broken_pairing():
+    objs = {d.obj for d in lint_paths([_fixture("v900_firing")],
+                                      select=["V901"])}
+    assert objs == {"best_fit", "stray_fit", "vector_orphan",
+                    "vector_missing", "classify_scalar"}
+
+
+def test_v902_separates_columns_from_script_maps():
+    diags = lint_paths([_fixture("v900_firing")], select=["V902"])
+    objs = {d.obj for d in diags}
+    assert objs == {"METRIC_COLUMNS", "procCount.sh", "diskUsage.sh"}
+    columns = next(d for d in diags if d.obj == "METRIC_COLUMNS")
+    assert "missing ['cpu_idle_pct']" in columns.message
+
+
+def test_v903_fires_on_both_inline_forms():
+    diags = lint_paths([_fixture("v900_firing")], select=["V903"])
+    messages = sorted(d.message for d in diags)
+    assert "inline composite sort key" in messages[0]
+    assert "lexsort called with inline key columns" in messages[1]
+    assert all("sortkeys.py" in m for m in messages)
+
+
+def test_v904_reports_the_knob_not_the_parameter():
+    diag = next(iter(lint_paths([_fixture("v900_firing")],
+                                select=["V904"])))
+    assert diag.obj == "run_mode"
+    assert "RUN_MODES" in diag.message
+
+
+def test_v905_reports_at_the_contract_and_names_the_lagging_side():
+    diag = next(iter(lint_paths([_fixture("v900_firing")],
+                                select=["V905"])))
+    assert diag.obj == "Expand"
+    assert diag.file.endswith(os.path.join("entity", "outbox.py"))
+    assert "not by the live driver" in diag.message
+
+
+def test_clean_fixture_is_clean():
+    assert lint_paths([_fixture("v900_clean")]) == []
+
+
+# ------------------------------------------------------ silence guards
+def test_sortkey_contract_alone_is_silent():
+    path = os.path.join(_fixture("v900_firing"), "rules",
+                        "sortkeys.py")
+    with open(path, encoding="utf-8") as fh:
+        modules, _ = parse_sources([(path, fh.read())])
+    assert lint_parity(modules) == []
+
+
+def test_v905_silent_without_a_live_side():
+    # Sim modules only: pump sets cannot diverge between runtimes.
+    firing = _fixture("v900_firing")
+    diags = lint_paths(
+        [os.path.join(firing, "entity"),
+         os.path.join(firing, "registry")],
+        select=["V905"],
+    )
+    assert diags == []
+
+
+def test_v904_silent_without_a_config_surface():
+    files = [(
+        "core/modes.py",
+        'RUN_MODES = ("auto", "verify")\n\n\n'
+        "def resolve(run_mode):\n"
+        "    if run_mode not in RUN_MODES:\n"
+        '        raise ValueError(f"run_mode must be one of '
+        '{RUN_MODES}")\n'
+        "    return run_mode\n",
+    )]
+    modules, _ = parse_sources(files)
+    assert lint_parity(modules) == []
+
+
+# ----------------------------------------------------------- real tree
+def _src_files():
+    src = os.path.join(_repo_root(), "src")
+    files = []
+    for path in collect_files([src]):
+        if not path.endswith(".py"):
+            continue
+        with open(path, encoding="utf-8") as fh:
+            files.append((path, fh.read()))
+    return files
+
+
+def test_src_tree_parity_is_clean():
+    diags = [d for d in lint_sources(_src_files())
+             if d.code.startswith("V9")]
+    assert diags == []
+
+
+#: One mutation per twin-path contract.  Each must flip the self-lint
+#: red — the static half of the "verify modes would have caught it at
+#: runtime" guarantee.
+_PARITY_MUTATIONS = [
+    (os.path.join("registry", "strategies.py"),
+     "    best_fit: vector_best_fit,\n", "", "V901"),
+    (os.path.join("registry", "hostmatrix.py"),
+     '    "loadavg1",\n', "", "V902"),
+    (os.path.join("monitor", "selector.py"),
+     "np.lexsort(victim_lexsort_keys(est, start, pid))",
+     "np.lexsort((pid, start, -est))", "V903"),
+    (os.path.join("core", "rescheduler.py"),
+     'host_plane: str = "auto"', 'plane_kind: str = "auto"', "V904"),
+    (os.path.join("live", "registry.py"),
+     "(Send, Expand, Shrink)", "(Send,)", "V905"),
+]
+
+
+@pytest.mark.parametrize("rel_path,needle,replacement,code",
+                         _PARITY_MUTATIONS)
+def test_breaking_any_parity_contract_fails_self_lint(
+        rel_path, needle, replacement, code):
+    target = os.path.join(_repo_root(), "src", "repro", rel_path)
+    mutated = []
+    found = False
+    for path, text in _src_files():
+        if os.path.realpath(path) == os.path.realpath(target):
+            assert needle in text, f"{needle!r} not found in {rel_path}"
+            text = text.replace(needle, replacement)
+            found = True
+        mutated.append((path, text))
+    assert found, f"{rel_path} not collected"
+    diags = lint_sources(mutated)
+    assert any(d.code == code for d in diags), (
+        f"mutating {rel_path} did not raise {code}"
+    )

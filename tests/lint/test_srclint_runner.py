@@ -152,6 +152,77 @@ def test_jobs_must_be_positive(capsys):
     assert "--jobs" in capsys.readouterr().err
 
 
+# --------------------------------------------------------------- L006
+def test_valid_prefixes_pass_quietly():
+    diags = lint_paths([_fixture("d300_firing")], select=["D", "V90"])
+    assert "L006" not in _codes(diags)
+
+
+def test_unknown_select_prefix_is_l006(capsys):
+    rc = main(["lint", _fixture("d300_clean"), "--select", "V99"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "L006" in out and "'V99'" in out
+
+
+def test_unknown_ignore_prefix_is_l006():
+    diags = lint_paths([_fixture("d300_clean")], ignore=["Q1"])
+    assert _codes(diags) == ["L006"]
+    assert "--ignore" in diags[0].message
+
+
+def test_l006_survives_its_own_filter():
+    # --select Q9 selects nothing, including L006 itself; the typo
+    # diagnostic is appended after filtering so it still surfaces.
+    diags = lint_paths([_fixture("d300_clean")], select=["Q9"])
+    assert _codes(diags) == ["L006"]
+
+
+# ------------------------------ multi-family same-line suppressions
+def _span_probe(tmp_path, suffix):
+    # One line carrying two diagnostics from different families:
+    # T505 (span leak) and D301 (wall clock in sim scope).
+    mod = tmp_path / "sim" / "probe.py"
+    mod.parent.mkdir()
+    mod.write_text(
+        "import time\n\n\n"
+        "def probe(tracer):\n"
+        f'    handle = tracer.begin("x", ts=time.time()){suffix}\n'
+        "    return None\n"
+    )
+    return str(tmp_path)
+
+
+def test_one_line_can_carry_two_families(tmp_path):
+    diags = lint_paths([_span_probe(tmp_path, "")])
+    assert sorted(_codes(diags)) == ["D301", "T505"]
+    assert {d.line for d in diags} == {5}
+
+
+def test_multi_family_suppression_silences_both(tmp_path):
+    diags = lint_paths([_span_probe(
+        tmp_path, "  # repro-lint: skip[T505,D301]")])
+    assert diags == []
+
+
+def test_partial_suppression_keeps_the_other_family(tmp_path):
+    diags = lint_paths([_span_probe(
+        tmp_path, "  # repro-lint: skip[T505]")])
+    assert _codes(diags) == ["D301"]
+
+
+def test_suppression_reaches_project_passes(tmp_path):
+    # V901 comes from a project-wide pass (lint_parity), not a
+    # per-module one; skip[V901] must silence it all the same.
+    mod = tmp_path / "rules" / "evaluator.py"
+    mod.parent.mkdir()
+    mod.write_text(
+        "def classify_scalar(state):  # repro-lint: skip[V901]\n"
+        '    return "free"\n'
+    )
+    assert lint_paths([str(tmp_path)]) == []
+
+
 # ---------------------------------------------------------- self-lint
 def test_src_tree_passes_strict_self_lint(capsys):
     src = os.path.join(_repo_root(), "src")
